@@ -1,0 +1,114 @@
+package atmem
+
+import (
+	"sort"
+
+	"atmem/internal/core"
+	"atmem/internal/memsim"
+)
+
+// trimPlanForBandwidth implements the aggregate-bandwidth enhancement of
+// the paper's §9 for independent-channel systems: it drops the
+// lowest-density tail of the plan's selection so that roughly
+// slowBW/(slowBW+fastBW) of the selected traffic keeps flowing on the
+// large memory's channels, letting both memories serve the hot working
+// set concurrently instead of funnelling everything through the fast
+// tier.
+//
+// Dropping whole ranges (lowest density first) keeps the migrated
+// regions contiguous; the last surviving range is truncated at a chunk
+// boundary when needed, mirroring the capacity-clipping rules.
+func trimPlanForBandwidth(plan *core.Plan, p *memsim.SystemParams) {
+	fastBW := p.Tiers[memsim.TierFast].ReadBWGBs
+	slowBW := p.Tiers[memsim.TierSlow].ReadBWGBs
+	if fastBW+slowBW <= 0 || plan.SelectedBytes == 0 {
+		return
+	}
+	keepFrac := fastBW / (fastBW + slowBW)
+	keepBytes := uint64(float64(plan.SelectedBytes) * keepFrac)
+	if keepBytes >= plan.SelectedBytes {
+		return
+	}
+
+	type rref struct{ obj, idx int }
+	var refs []rref
+	for i := range plan.Objects {
+		for k := range plan.Objects[i].Ranges {
+			refs = append(refs, rref{i, k})
+		}
+	}
+	// Drop from the sparse end: lowest density first.
+	sort.SliceStable(refs, func(a, b int) bool {
+		ra := plan.Objects[refs[a].obj].Ranges[refs[a].idx]
+		rb := plan.Objects[refs[b].obj].Ranges[refs[b].idx]
+		return ra.Density < rb.Density
+	})
+	drop := plan.SelectedBytes - keepBytes
+	dropped := make(map[rref]uint64, len(refs))
+	for _, ref := range refs {
+		if drop == 0 {
+			break
+		}
+		rg := &plan.Objects[ref.obj].Ranges[ref.idx]
+		cs := plan.Objects[ref.obj].Object.ChunkSize
+		cut := core.RoundUpU64(drop, cs)
+		if cut >= rg.Size {
+			dropped[ref] = rg.Size
+			if rg.Size >= drop {
+				drop = 0
+			} else {
+				drop -= rg.Size
+			}
+		} else {
+			dropped[ref] = cut
+			drop = 0
+		}
+	}
+	var removed uint64
+	for i := range plan.Objects {
+		op := &plan.Objects[i]
+		kept := op.Ranges[:0]
+		for k := range op.Ranges {
+			rg := op.Ranges[k]
+			cut, ok := dropped[rref{i, k}]
+			if !ok {
+				kept = append(kept, rg)
+				continue
+			}
+			if cut >= rg.Size {
+				removed += rg.Size
+				continue
+			}
+			rg.Size -= cut
+			removed += cut
+			kept = append(kept, rg)
+		}
+		op.Ranges = kept
+		// Recompute the per-origin byte counters for the kept ranges.
+		op.SampledBytes = 0
+		op.EstimatedBytes = 0
+		for _, rg := range op.Ranges {
+			o := op.Object
+			firstChunk := int((rg.Base - o.Base) / o.ChunkSize)
+			lastChunk := int((rg.End() - o.Base - 1) / o.ChunkSize)
+			for j := firstChunk; j <= lastChunk; j++ {
+				lo, hi := o.ChunkRange(j)
+				if lo < rg.Base {
+					lo = rg.Base
+				}
+				if hi > rg.End() {
+					hi = rg.End()
+				}
+				if hi <= lo {
+					continue
+				}
+				if op.Local.Critical[j] {
+					op.SampledBytes += hi - lo
+				} else {
+					op.EstimatedBytes += hi - lo
+				}
+			}
+		}
+	}
+	plan.SelectedBytes -= removed
+}

@@ -1,0 +1,89 @@
+// Command atmem-bench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	atmem-bench [-format text|csv|md|json] [-v] <experiment>...
+//	atmem-bench -list
+//	atmem-bench all
+//
+// Experiments share a memoized run cache within one invocation, so
+// "atmem-bench all" executes each (testbed, app, dataset, policy)
+// combination once even though several artifacts consume it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atmem/internal/harness"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, csv, md, json")
+	verbose := flag.Bool("v", false, "print each underlying run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atmem-bench [-format text|csv|md|json] [-v] <experiment>...|all\n\nexperiments ('all' runs the paper set; extensions run by id):\n")
+		for _, e := range harness.AllExperiments() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.AllExperiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var exps []harness.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = harness.Experiments()
+	} else {
+		for _, id := range ids {
+			e, err := harness.ExperimentByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	suite := harness.NewSuite()
+	suite.Verbose = *verbose
+	for _, e := range exps {
+		reports, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmem-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			var err error
+			switch *format {
+			case "text":
+				err = rep.WriteText(os.Stdout)
+				fmt.Println()
+			case "csv":
+				err = rep.WriteCSV(os.Stdout)
+			case "md":
+				err = rep.WriteMarkdown(os.Stdout)
+			case "json":
+				err = rep.WriteJSON(os.Stdout)
+			default:
+				fmt.Fprintf(os.Stderr, "atmem-bench: unknown format %q\n", *format)
+				os.Exit(2)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atmem-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command atmem-report re-renders experiment results captured as JSON
+// (atmem-bench -format json) into text, CSV, or markdown — useful for
+// regenerating EXPERIMENTS.md without re-running the experiments.
+//
+// Usage:
+//
+//	atmem-bench -format json fig5 > results.json
+//	atmem-report -format md results.json
+//	atmem-report -format md -                 # read stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atmem/internal/harness"
+)
+
+func main() {
+	format := flag.String("format", "md", "output format: text, csv, md")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: atmem-report [-format text|csv|md] <results.json|->")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		var rd io.Reader
+		if path == "-" {
+			rd = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			rd = f
+		}
+		reports, err := harness.ReadJSONReports(rd)
+		if err != nil {
+			fatal("%s: %v", path, err)
+		}
+		for _, rep := range reports {
+			switch *format {
+			case "text":
+				err = rep.WriteText(os.Stdout)
+				fmt.Println()
+			case "csv":
+				err = rep.WriteCSV(os.Stdout)
+			case "md":
+				err = rep.WriteMarkdown(os.Stdout)
+			default:
+				fatal("unknown format %q", *format)
+			}
+			if err != nil {
+				fatal("%v", err)
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "atmem-report: "+format+"\n", args...)
+	os.Exit(1)
+}

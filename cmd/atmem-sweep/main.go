@@ -1,0 +1,94 @@
+// Command atmem-sweep runs the ε sweep of the paper's §7.2 (Figures 9 and
+// 10): for a chosen testbed, application, and dataset(s), it sweeps the
+// analyzer's ε knob, producing (data ratio, iteration time) points that
+// trace the performance/footprint trade-off curve.
+//
+// Usage:
+//
+//	atmem-sweep [-testbed nvm|knl] [-app bfs] [-datasets a,b,...]
+//	            [-eps 0.02,0.05,...] [-format text|csv|md|json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"atmem"
+	"atmem/graph"
+	"atmem/internal/harness"
+)
+
+func main() {
+	testbed := flag.String("testbed", "nvm", "testbed: nvm or knl")
+	app := flag.String("app", "bfs", "application to sweep (the paper uses BFS)")
+	datasets := flag.String("datasets", strings.Join(graph.DatasetNames(), ","), "comma-separated datasets")
+	epsList := flag.String("eps", "0.02,0.05,0.08,0.1,0.12,0.15,0.2,0.3,0.5,0.8,0.999", "comma-separated ε values")
+	format := flag.String("format", "text", "output format: text, csv, md, json")
+	flag.Parse()
+
+	var epsilons []float64
+	for _, tok := range strings.Split(*epsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || v <= 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "atmem-sweep: bad ε %q\n", tok)
+			os.Exit(2)
+		}
+		epsilons = append(epsilons, v)
+	}
+
+	suite := harness.NewSuite()
+	for _, ds := range strings.Split(*datasets, ",") {
+		ds = strings.TrimSpace(ds)
+		rep := &harness.Report{
+			ID:      fmt.Sprintf("sweep-%s-%s-%s", *testbed, *app, ds),
+			Title:   fmt.Sprintf("%s on %s (%s testbed): time vs data ratio", *app, ds, *testbed),
+			Columns: []string{"epsilon", "data-ratio", "time(s)"},
+		}
+		type point struct{ eps, ratio, secs float64 }
+		var pts []point
+		for _, eps := range epsilons {
+			res, err := suite.Run(harness.RunConfig{
+				Testbed:      harness.TestbedID(*testbed),
+				App:          *app,
+				Dataset:      ds,
+				Policy:       atmem.PolicyATMem,
+				Epsilon:      eps,
+				SkipValidate: true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atmem-sweep: %v\n", err)
+				os.Exit(1)
+			}
+			pts = append(pts, point{eps, res.DataRatio, res.IterSeconds})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].ratio < pts[j].ratio })
+		for _, p := range pts {
+			rep.AddRow(fmt.Sprintf("%.3f", p.eps),
+				fmt.Sprintf("%.1f%%", 100*p.ratio),
+				fmt.Sprintf("%.6f", p.secs))
+		}
+		var err error
+		switch *format {
+		case "text":
+			err = rep.WriteText(os.Stdout)
+			fmt.Println()
+		case "csv":
+			err = rep.WriteCSV(os.Stdout)
+		case "md":
+			err = rep.WriteMarkdown(os.Stdout)
+		case "json":
+			err = rep.WriteJSON(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "atmem-sweep: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmem-sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command atmem-trace records a workload's demand-miss trace and replays
+// it through the analyzer offline — the offline-profiling workflow the
+// paper's related work contrasts ATMem against. Recording once and
+// re-analyzing makes it cheap to explore analyzer configurations (chunk
+// granularity, tree arity, ε) without re-running the application.
+//
+// Usage:
+//
+//	atmem-trace record  -app pr -dataset twitter -out pr-twitter
+//	atmem-trace analyze -in pr-twitter [-eps 0.25] [-m 4] [-chunks 256]
+//
+// record writes <out>.atmt (the trace) and <out>.json (the object
+// manifest); analyze rebuilds the registry from the manifest, attributes
+// the trace, and prints the resulting placement plan.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"atmem"
+	"atmem/apps"
+	"atmem/internal/core"
+	"atmem/internal/pebs"
+	"atmem/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  atmem-trace record  -app <kernel> -dataset <name> -out <prefix> [-testbed nvm|knl]
+  atmem-trace analyze -in <prefix> [-eps E] [-m M] [-chunks N] [-budget BYTES]`)
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app := fs.String("app", "pr", "kernel to trace")
+	dataset := fs.String("dataset", "pokec", "input dataset")
+	testbed := fs.String("testbed", "nvm", "testbed: nvm or knl")
+	out := fs.String("out", "trace", "output file prefix")
+	_ = fs.Parse(args)
+
+	tb := atmem.NVMDRAM()
+	if *testbed == "knl" {
+		tb = atmem.MCDRAMDRAM()
+	}
+	// Period 1 captures the complete demand-miss stream.
+	rt, err := atmem.NewRuntime(tb, atmem.Options{Policy: atmem.PolicyATMem, SamplePeriod: 1})
+	if err != nil {
+		fatal("%v", err)
+	}
+	k, err := apps.New(*app)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := k.Setup(rt, *dataset); err != nil {
+		fatal("%v", err)
+	}
+	rt.ProfilingStart()
+	k.RunIteration(rt)
+	rt.ProfilingStop()
+
+	tf, err := os.Create(*out + ".atmt")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer tf.Close()
+	w, err := trace.NewWriter(tf)
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, s := range rt.Samples() {
+		if err := w.Add(trace.Event{Addr: s.Addr, Write: s.Write}); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal("%v", err)
+	}
+
+	mf, err := os.Create(*out + ".json")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rt.Manifest()); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("recorded %d events from %s/%s into %s.atmt (+ manifest %s.json)\n",
+		w.Count(), *app, *dataset, *out, *out)
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "trace", "input file prefix")
+	eps := fs.Float64("eps", 0, "analyzer ε (0 = default 1/M)")
+	m := fs.Int("m", 0, "tree arity (0 = default)")
+	chunks := fs.Int("chunks", 0, "target chunks per object (0 = default)")
+	budget := fs.Uint64("budget", 0, "fast-memory budget in bytes (0 = unlimited)")
+	_ = fs.Parse(args)
+
+	cfg := core.DefaultConfig()
+	if *eps > 0 {
+		cfg.Epsilon = *eps
+	}
+	if *m > 0 {
+		cfg.M = *m
+	}
+	if *chunks > 0 {
+		cfg.TargetChunksPerObject = *chunks
+	}
+
+	mf, err := os.Open(*in + ".json")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer mf.Close()
+	var manifest []atmem.ObjectManifest
+	if err := json.NewDecoder(mf).Decode(&manifest); err != nil {
+		fatal("manifest: %v", err)
+	}
+	reg := core.NewRegistry(cfg)
+	for _, om := range manifest {
+		if _, err := reg.Register(om.Name, om.Base, om.Size); err != nil {
+			fatal("manifest: %v", err)
+		}
+	}
+
+	tf, err := os.Open(*in + ".atmt")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer tf.Close()
+	rd, err := trace.NewReader(tf)
+	if err != nil {
+		fatal("%v", err)
+	}
+	events, err := trace.ReadAll(rd)
+	if err != nil {
+		fatal("%v", err)
+	}
+	samples := make([]pebs.Sample, len(events))
+	for i, e := range events {
+		samples[i] = pebs.Sample{Addr: e.Addr, Write: e.Write}
+	}
+	attributed := reg.AttributeSamples(samples)
+
+	plan, err := core.Analyze(reg, 1, *budget)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("trace: %d events, %d attributed; plan ratio %.1f%% (%d bytes of %d)\n",
+		len(events), attributed, 100*plan.DataRatio(), plan.SelectedBytes, plan.TotalBytes)
+	fmt.Printf("%-18s %10s %8s %10s %8s %s\n",
+		"object", "size", "chunks", "selected", "ranges", "threshold")
+	for _, op := range plan.Objects {
+		fmt.Printf("%-18s %10d %8d %10d %8d θ=%.4g TR'=%.3f\n",
+			op.Object.Name, op.Object.Size, op.Object.NumChunks,
+			op.SelectedBytes(), len(op.Ranges), op.Local.Theta, op.TRThreshold)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "atmem-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

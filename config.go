@@ -1,0 +1,169 @@
+// Package atmem is a reproduction of ATMem (CGO 2020): a runtime
+// framework for adaptive-granularity data placement of graph-application
+// data on heterogeneous memory systems (HMS).
+//
+// The package exposes the paper's Listing-1 API — register data objects,
+// profile one iteration with a sampling profiler, then Optimize to migrate
+// the critical data chunks onto the high-performance memory — on top of a
+// simulated HMS (see internal/memsim and DESIGN.md for the calibration of
+// the two testbeds against the paper's hardware).
+//
+// A minimal session:
+//
+//	rt, _ := atmem.NewRuntime(atmem.NVMDRAM())
+//	ranks, _ := atmem.NewArray[float64](rt, "ranks", n)
+//	rt.ProfilingStart()
+//	rt.RunPhase("iter0", func(c *atmem.Ctx) { ... ranks.Load(c, i) ... })
+//	rt.ProfilingStop()
+//	rt.Optimize()
+//	res := rt.RunPhase("iter1", func(c *atmem.Ctx) { ... })
+package atmem
+
+import (
+	"fmt"
+
+	"atmem/internal/core"
+	"atmem/internal/memsim"
+	"atmem/internal/migrate"
+	"atmem/internal/pebs"
+)
+
+// Testbed selects one of the two simulated HMS platforms of the paper's
+// Table 1.
+type Testbed struct {
+	params memsim.SystemParams
+}
+
+// Params returns a copy of the underlying simulator parameters.
+func (t Testbed) Params() memsim.SystemParams { return t.params }
+
+// Name returns the testbed name ("nvm-dram" or "mcdram-dram").
+func (t Testbed) Name() string { return t.params.Name }
+
+// NVMDRAM returns the Intel Optane NVM + DDR4 DRAM testbed: DRAM is the
+// small fast tier, Optane the large slow tier.
+func NVMDRAM() Testbed { return Testbed{params: memsim.NVMDRAMParams()} }
+
+// MCDRAMDRAM returns the Knights Landing testbed: MCDRAM is the small
+// high-bandwidth tier, DDR4 the large tier.
+func MCDRAMDRAM() Testbed { return Testbed{params: memsim.MCDRAMDRAMParams()} }
+
+// CustomTestbed wraps caller-provided simulator parameters (validated at
+// NewRuntime).
+func CustomTestbed(p memsim.SystemParams) Testbed { return Testbed{params: p} }
+
+// Policy is the data placement policy of a runtime.
+type Policy int
+
+const (
+	// PolicyBaseline allocates everything on the large-capacity memory
+	// — the paper's baseline on both testbeds (all-NVM; all-DDR4).
+	PolicyBaseline Policy = iota
+	// PolicyAllFast allocates everything on the high-performance
+	// memory — the paper's NVM-DRAM ideal reference (all-DRAM). It
+	// fails when capacity runs out.
+	PolicyAllFast
+	// PolicyPreferFast allocates on the high-performance memory until
+	// it fills, then spills to the large memory — `numactl -p`, the
+	// paper's MCDRAM-DRAM ideal reference (MCDRAM-p).
+	PolicyPreferFast
+	// PolicyATMem allocates on the large memory and relies on
+	// profiling + Optimize to migrate critical chunks to the fast
+	// memory.
+	PolicyATMem
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyAllFast:
+		return "all-fast"
+	case PolicyPreferFast:
+		return "prefer-fast"
+	case PolicyATMem:
+		return "atmem"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// MigrationMechanism selects the engine Optimize uses to move data.
+type MigrationMechanism int
+
+const (
+	// MigrateATMem is the paper's multi-stage multi-threaded
+	// application-level migration (§4.4).
+	MigrateATMem MigrationMechanism = iota
+	// MigrateMbind is the system-service baseline (§2.3).
+	MigrateMbind
+)
+
+func (m MigrationMechanism) String() string {
+	switch m {
+	case MigrateATMem:
+		return "atmem"
+	case MigrateMbind:
+		return "mbind"
+	}
+	return fmt.Sprintf("MigrationMechanism(%d)", int(m))
+}
+
+// Options configures a Runtime beyond the testbed.
+type Options struct {
+	// Policy is the placement policy; default PolicyATMem.
+	Policy Policy
+	// Threads overrides the testbed's simulated thread count (0 keeps
+	// the preset).
+	Threads int
+	// Analyzer overrides the analyzer configuration; the zero value
+	// means core.DefaultConfig(). Sweeping Analyzer.Epsilon reproduces
+	// Figures 9 and 10.
+	Analyzer core.Config
+	// Mechanism selects the migration engine; default MigrateATMem.
+	Mechanism MigrationMechanism
+	// SamplePeriod fixes the profiler period; 0 enables the automatic
+	// adjustment of §5.1.
+	SamplePeriod uint64
+	// SampleOverheadNS overrides the per-sample capture cost; 0 keeps
+	// the default.
+	SampleOverheadNS float64
+	// CapacityReserve holds back this many bytes of fast memory from
+	// the placement budget (staging headroom and "other tenants" in
+	// the shared-server scenario of §1). Default: one staging buffer.
+	CapacityReserve uint64
+	// BandwidthAware enables the aggregate-bandwidth placement
+	// enhancement the paper sketches as future work (§9): on systems
+	// whose tiers have independent memory channels (KNL), deliberately
+	// leaving the coldest fraction of the selection on the large
+	// memory lets both channels serve traffic concurrently. The
+	// fraction left behind is slowBW/(slowBW+fastBW) of the selected
+	// bytes. Ignored on shared-channel systems (Optane), where
+	// splitting traffic only serializes it.
+	BandwidthAware bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Analyzer == (core.Config{}) {
+		out.Analyzer = core.DefaultConfig()
+	}
+	if out.SampleOverheadNS == 0 {
+		out.SampleOverheadNS = pebs.DefaultConfig().SampleOverheadNS
+	}
+	if out.CapacityReserve == 0 {
+		out.CapacityReserve = defaultStagingBytes
+	}
+	return out
+}
+
+const defaultStagingBytes = 2 << 20
+
+// newEngine builds the configured migration engine.
+func (o *Options) newEngine(threads int) migrate.Engine {
+	switch o.Mechanism {
+	case MigrateMbind:
+		return &migrate.MbindEngine{}
+	default:
+		return &migrate.ATMemEngine{Threads: threads, StagingBytes: defaultStagingBytes}
+	}
+}

@@ -1,0 +1,67 @@
+// Command capacity explores the shared-server scenario of the paper's
+// introduction: multiple tenants compete for the scarce high-performance
+// memory, so the capacity available to one application shrinks. ATMem's
+// per-byte-benefit selection degrades gracefully — it keeps the densest
+// chunks as the budget tightens — where whole-structure placement falls
+// off a cliff.
+//
+// The example runs PageRank on twitter on the NVM-DRAM testbed while an
+// ever-larger reservation (the "other tenants") eats the DRAM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atmem"
+	"atmem/apps"
+	"atmem/internal/memsim"
+)
+
+func run(reserve uint64) (iter float64, ratio float64, err error) {
+	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), atmem.Options{
+		Policy:          atmem.PolicyATMem,
+		CapacityReserve: reserve,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	k, err := apps.New("pr")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := k.Setup(rt, "twitter"); err != nil {
+		return 0, 0, err
+	}
+	rt.ProfilingStart()
+	k.RunIteration(rt)
+	rt.ProfilingStop()
+	if _, err := rt.Optimize(); err != nil {
+		return 0, 0, err
+	}
+	k.RunIteration(rt) // warm
+	it := k.RunIteration(rt)
+	if err := k.Validate(); err != nil {
+		return 0, 0, err
+	}
+	return it.Seconds, rt.FastDataRatio(), nil
+}
+
+func main() {
+	tb := atmem.NVMDRAM()
+	total := tb.Params().Tiers[memsim.TierFast].CapacityBytes
+	fmt.Println("== shared-server capacity pressure: PageRank/twitter, NVM-DRAM ==")
+	fmt.Printf("DRAM capacity: %d MiB total\n\n", total>>20)
+	fmt.Printf("%-18s %-14s %-12s\n", "other tenants", "iter-time(s)", "data-on-DRAM")
+	for _, frac := range []float64{0, 0.5, 0.9, 0.95, 0.98, 0.995} {
+		reserve := uint64(frac * float64(total))
+		iter, ratio, err := run(reserve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %-14.6f %.1f%%\n",
+			fmt.Sprintf("%.1f%% (%d MiB)", 100*frac, reserve>>20), iter, 100*ratio)
+	}
+	fmt.Println("\nATMem keeps the densest chunks as the budget shrinks; performance")
+	fmt.Println("degrades smoothly toward the all-NVM baseline instead of collapsing.")
+}

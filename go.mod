@@ -1,0 +1,3 @@
+module atmem
+
+go 1.22

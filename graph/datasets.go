@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dataset describes one of the paper's five inputs (Table 2) at the
+// reproduction's scale (~1000x fewer edges; see DESIGN.md §5). The skew
+// regime of each original graph is preserved: pokec is a mid-skew social
+// network, twitter has extreme hub concentration, friendster is large but
+// flatter, and the rmat graphs follow Graph500 parameters.
+type Dataset struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// PaperVertices and PaperEdges record the original sizes from
+	// Table 2, for reports.
+	PaperVertices, PaperEdges string
+	// Build generates the graph (weights attached, deterministic).
+	Build func() (*Graph, error)
+}
+
+// Datasets returns the five evaluation inputs in the paper's order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "pokec", PaperVertices: "1.6M", PaperEdges: "30.6M",
+			Build: func() (*Graph, error) {
+				return GenerateSocial("pokec", SocialParams{
+					NumVertices:     32768,
+					AvgDegree:       20,
+					DegreeSkew:      0.55,
+					PopularityAlpha: 0.85,
+					LocalFraction:   0.4,
+					CommunitySize:   64,
+					Seed:            0x506f6b65, // "Poke"
+				})
+			},
+		},
+		{
+			Name: "rmat24", PaperVertices: "16.8M", PaperEdges: "268.4M",
+			Build: func() (*Graph, error) {
+				return GenerateRMAT("rmat24", DefaultRMAT(16, 16, 24))
+			},
+		},
+		{
+			Name: "twitter", PaperVertices: "41.7M", PaperEdges: "1.5B",
+			Build: func() (*Graph, error) {
+				return GenerateSocial("twitter", SocialParams{
+					NumVertices:     81920,
+					AvgDegree:       30,
+					DegreeSkew:      0.75,
+					PopularityAlpha: 1.05, // extreme hub skew
+					LocalFraction:   0.15,
+					CommunitySize:   32,
+					Seed:            0x54776974, // "Twit"
+				})
+			},
+		},
+		{
+			Name: "rmat27", PaperVertices: "134.2M", PaperEdges: "2.1B",
+			Build: func() (*Graph, error) {
+				return GenerateRMAT("rmat27", DefaultRMAT(17, 16, 27))
+			},
+		},
+		{
+			Name: "friendster", PaperVertices: "68.3M", PaperEdges: "2.1B",
+			Build: func() (*Graph, error) {
+				return GenerateSocial("friendster", SocialParams{
+					NumVertices:     98304,
+					AvgDegree:       21,
+					DegreeSkew:      0.4,
+					PopularityAlpha: 0.6, // flatter than twitter
+					LocalFraction:   0.5,
+					CommunitySize:   128,
+					Seed:            0x46726e64, // "Frnd"
+				})
+			},
+		},
+	}
+}
+
+// DatasetNames returns the dataset names in the paper's order.
+func DatasetNames() []string {
+	ds := Datasets()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+var (
+	cacheMu    sync.Mutex
+	graphCache = map[string]*Graph{}
+	custom     = map[string]func() (*Graph, error){}
+)
+
+// RegisterDataset makes a caller-supplied builder loadable by name —
+// used for derived inputs (relabelled variants, external edge lists) so
+// the kernels and the harness can treat them like the built-in datasets.
+// Registering an existing name replaces the builder and drops any cached
+// graph for it.
+func RegisterDataset(name string, build func() (*Graph, error)) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	custom[name] = build
+	delete(graphCache, name)
+	delete(derivedCache, name+"/rev")
+	delete(derivedCache, name+"/sym")
+}
+
+// Load builds (or returns the cached) named dataset with edge weights
+// attached. The returned graph is shared: callers must not mutate it.
+// Builders run outside the cache lock, so a derived dataset's builder
+// may itself call Load.
+func Load(name string) (*Graph, error) {
+	cacheMu.Lock()
+	if g, ok := graphCache[name]; ok {
+		cacheMu.Unlock()
+		return g, nil
+	}
+	build := custom[name]
+	cacheMu.Unlock()
+	if build == nil {
+		for _, d := range Datasets() {
+			if d.Name == name {
+				build = d.Build
+				break
+			}
+		}
+	}
+	if build == nil {
+		return nil, fmt.Errorf("graph: unknown dataset %q (have %v)", name, DatasetNames())
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if g.Weights == nil {
+		g.AttachWeights(uint64(len(g.Edges)), 64)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	// A concurrent Load may have finished first; keep the cached one so
+	// all callers share a single instance.
+	if cached, ok := graphCache[name]; ok {
+		return cached, nil
+	}
+	graphCache[name] = g
+	return g, nil
+}
+
+// ClearCache empties the dataset cache (tests of memory behaviour).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	graphCache = map[string]*Graph{}
+	derivedCache = map[string]*Graph{}
+}
+
+var derivedCache = map[string]*Graph{}
+
+// LoadReverse returns the cached transpose of the named dataset.
+func LoadReverse(name string) (*Graph, error) {
+	g, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := name + "/rev"
+	if r, ok := derivedCache[key]; ok {
+		return r, nil
+	}
+	r := g.Reverse()
+	derivedCache[key] = r
+	return r, nil
+}
+
+// LoadSymmetric returns the cached symmetrized form of the named dataset
+// (unweighted).
+func LoadSymmetric(name string) (*Graph, error) {
+	g, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := name + "/sym"
+	if s, ok := derivedCache[key]; ok {
+		return s, nil
+	}
+	s, err := g.Symmetrize()
+	if err != nil {
+		return nil, err
+	}
+	derivedCache[key] = s
+	return s, nil
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestDatasetsListedInPaperOrder(t *testing.T) {
+	want := []string{"pokec", "rmat24", "twitter", "rmat27", "friendster"}
+	got := DatasetNames()
+	if len(got) != len(want) {
+		t.Fatalf("names %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dataset %d = %s, want %s (Table 2 order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	for _, name := range DatasetNames() {
+		g, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Weights == nil {
+			t.Errorf("%s: no weights attached", name)
+		}
+		if g.NumVertices() < 30000 || g.NumEdges() < 400000 {
+			t.Errorf("%s: suspiciously small (V=%d E=%d)", name, g.NumVertices(), g.NumEdges())
+		}
+		st := ComputeDegreeStats(g)
+		if st.TopShare[0.10] < 0.15 {
+			t.Errorf("%s: top-10%% share %.2f, all datasets must be skewed", name, st.TopShare[0.10])
+		}
+	}
+}
+
+func TestLoadIsCached(t *testing.T) {
+	a, err := Load("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Load did not return the cached graph")
+	}
+}
+
+func TestLoadUnknownDataset(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestLoadReverseAndSymmetricCached(t *testing.T) {
+	r1, err := LoadReverse("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadReverse("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("LoadReverse not cached")
+	}
+	s1, err := LoadSymmetric("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadSymmetric("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("LoadSymmetric not cached")
+	}
+	g, _ := Load("pokec")
+	if r1.NumEdges() != g.NumEdges() {
+		t.Error("reverse edge count mismatch")
+	}
+	if s1.NumEdges() < g.NumEdges() {
+		t.Error("symmetric graph smaller than original")
+	}
+}
+
+func TestTwitterIsTheMostSkewed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	// The dataset regimes of DESIGN.md §5: twitter has the heaviest
+	// hub concentration, friendster the flattest of the social graphs.
+	tw, err := Load("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Load("friendster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twShare := ComputeDegreeStats(tw).TopShare[0.01]
+	frShare := ComputeDegreeStats(fr).TopShare[0.01]
+	if twShare <= frShare {
+		t.Errorf("twitter top-1%% share %.3f <= friendster %.3f", twShare, frShare)
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	a, _ := Load("pokec")
+	ClearCache()
+	b, err := Load("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("ClearCache kept the cached graph")
+	}
+	// Rebuilt graphs are bit-identical (determinism).
+	if a.NumEdges() != b.NumEdges() {
+		t.Error("rebuild differs from original")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("rebuild edge mismatch")
+		}
+	}
+}
+
+func TestRegisterDataset(t *testing.T) {
+	RegisterDataset("tiny-custom", func() (*Graph, error) {
+		return FromEdges("tiny-custom", 3, []Edge{{0, 1}, {1, 2}, {2, 0}}, true)
+	})
+	g, err := Load("tiny-custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("custom dataset shape V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Weights == nil {
+		t.Error("Load did not attach weights to the custom dataset")
+	}
+	// Cached on second load.
+	g2, err := Load("tiny-custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != g2 {
+		t.Error("custom dataset not cached")
+	}
+	// Re-registering replaces the builder and drops the cache.
+	RegisterDataset("tiny-custom", func() (*Graph, error) {
+		return FromEdges("tiny-custom", 4, []Edge{{0, 1}, {1, 2}, {2, 3}}, true)
+	})
+	g3, err := Load("tiny-custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumVertices() != 4 {
+		t.Error("re-registration did not replace the dataset")
+	}
+	// Derived variants work for custom datasets too.
+	if _, err := LoadReverse("tiny-custom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSymmetric("tiny-custom"); err != nil {
+		t.Fatal(err)
+	}
+}

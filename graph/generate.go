@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"atmem/internal/stats"
+)
+
+// RMATParams parameterize the recursive-matrix generator of Chakrabarti
+// et al., the generator behind the paper's rmat24/rmat27 inputs.
+type RMATParams struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is edges per vertex.
+	EdgeFactor int
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C).
+	// The Graph500 defaults (0.57, 0.19, 0.19) concentrate hubs at low
+	// vertex ids, producing the contiguous dense regions ATMem's
+	// chunking exploits.
+	A, B, C float64
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// DefaultRMAT returns Graph500-style parameters.
+func DefaultRMAT(scale, edgeFactor int, seed uint64) RMATParams {
+	return RMATParams{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// GenerateRMAT produces a deterministic RMAT graph.
+func GenerateRMAT(name string, p RMATParams) (*Graph, error) {
+	if p.Scale <= 0 || p.Scale > 30 {
+		return nil, fmt.Errorf("graph: RMAT scale %d out of range", p.Scale)
+	}
+	if p.EdgeFactor <= 0 {
+		return nil, fmt.Errorf("graph: RMAT edge factor must be positive")
+	}
+	if p.A <= 0 || p.B < 0 || p.C < 0 || p.A+p.B+p.C >= 1 {
+		return nil, fmt.Errorf("graph: RMAT quadrant probabilities invalid")
+	}
+	n := 1 << p.Scale
+	m := n * p.EdgeFactor
+	rng := stats.NewRNG(p.Seed)
+	edges := make([]Edge, 0, m)
+	ab := p.A + p.B
+	abc := ab + p.C
+	for i := 0; i < m; i++ {
+		var src, dst uint32
+		for bit := p.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: no bits set
+			case r < ab:
+				dst |= 1 << bit
+			case r < abc:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges = append(edges, Edge{src, dst})
+	}
+	return FromEdges(name, n, edges, true)
+}
+
+// SocialParams parameterize the social-network generator used for the
+// pokec / twitter / friendster analogues. Out-degrees follow a Zipf-like
+// rank law with hubs at LOW vertex ids — real crawled datasets (and the
+// paper's inputs) have exactly this property because crawls discover
+// popular vertices first — and destinations are drawn from a Zipf-like
+// popularity distribution, also hub-first. The resulting dense low-id
+// regions of the per-vertex property arrays are the contiguous hot
+// regions ATMem's chunking and tree promotion exploit.
+type SocialParams struct {
+	// NumVertices is the vertex count.
+	NumVertices int
+	// AvgDegree is the mean out-degree.
+	AvgDegree int
+	// DegreeSkew in [0,1) shapes the out-degree rank law
+	// (degree ∝ (v+1)^-DegreeSkew): larger = heavier hubs.
+	DegreeSkew float64
+	// PopularityAlpha shapes destination popularity (larger = more
+	// skewed toward hub vertices; 0 = uniform).
+	PopularityAlpha float64
+	// LocalFraction of edges connect within a community neighbourhood
+	// of the source instead of by popularity, giving social graphs
+	// their clustered structure.
+	LocalFraction float64
+	// CommunitySize is the neighbourhood width for local edges.
+	CommunitySize int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// GenerateSocial produces a deterministic social-network-like graph.
+func GenerateSocial(name string, p SocialParams) (*Graph, error) {
+	if p.NumVertices <= 1 {
+		return nil, fmt.Errorf("graph: social generator needs at least 2 vertices")
+	}
+	if p.AvgDegree <= 0 {
+		return nil, fmt.Errorf("graph: social generator needs positive degree")
+	}
+	if p.DegreeSkew < 0 || p.DegreeSkew >= 1 {
+		return nil, fmt.Errorf("graph: DegreeSkew out of [0,1)")
+	}
+	if p.LocalFraction < 0 || p.LocalFraction > 1 {
+		return nil, fmt.Errorf("graph: LocalFraction out of [0,1]")
+	}
+	if p.CommunitySize <= 0 {
+		p.CommunitySize = 64
+	}
+	n := p.NumVertices
+	rng := stats.NewRNG(p.Seed)
+
+	// Popularity CDF: weight(v) = (v+1)^-PopularityAlpha, hubs at low ids.
+	cdf := make([]float64, n)
+	var total float64
+	for v := 0; v < n; v++ {
+		w := 1.0
+		if p.PopularityAlpha > 0 {
+			w = math.Pow(float64(v+1), -p.PopularityAlpha)
+		}
+		total += w
+		cdf[v] = total
+	}
+	pick := func(r float64) uint32 {
+		target := r * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+
+	// Out-degree rank law: deg(v) ∝ (v+1)^-DegreeSkew with mean
+	// AvgDegree, plus multiplicative jitter so the curve is not
+	// perfectly smooth.
+	degRNG := rng.Fork(1)
+	dstRNG := rng.Fork(2)
+	var degNorm float64
+	for v := 0; v < n; v++ {
+		degNorm += rankWeight(v, p.DegreeSkew)
+	}
+	degScale := float64(p.AvgDegree) * float64(n) / degNorm
+	edges := make([]Edge, 0, n*p.AvgDegree)
+	for v := 0; v < n; v++ {
+		jitter := 0.5 + degRNG.Float64()
+		deg := int(rankWeight(v, p.DegreeSkew)*degScale*jitter + 0.5)
+		if deg < 1 {
+			deg = 1
+		}
+		for k := 0; k < deg; k++ {
+			var dst uint32
+			if dstRNG.Float64() < p.LocalFraction {
+				// Community edge: near the source.
+				off := dstRNG.Intn(2*p.CommunitySize+1) - p.CommunitySize
+				d := v + off
+				if d < 0 {
+					d += n
+				}
+				if d >= n {
+					d -= n
+				}
+				dst = uint32(d)
+			} else {
+				dst = pick(dstRNG.Float64())
+			}
+			if int(dst) == v {
+				dst = uint32((v + 1) % n)
+			}
+			edges = append(edges, Edge{uint32(v), dst})
+		}
+	}
+	return FromEdges(name, n, edges, true)
+}
+
+// rankWeight is the Zipf-like rank weight (v+1)^-skew.
+func rankWeight(v int, skew float64) float64 {
+	if skew <= 0 {
+		return 1
+	}
+	return math.Pow(float64(v+1), -skew)
+}
+
+// AttachWeights gives g deterministic per-edge weights in [1, maxWeight],
+// as the SSSP evaluation requires.
+func (g *Graph) AttachWeights(seed uint64, maxWeight int) {
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	rng := stats.NewRNG(seed)
+	g.Weights = make([]float32, len(g.Edges))
+	for i := range g.Weights {
+		g.Weights[i] = float32(rng.Intn(maxWeight) + 1)
+	}
+}

@@ -1,0 +1,184 @@
+// Package graph provides the graph substrate of the ATMem reproduction:
+// compressed-sparse-row (CSR) graphs, deterministic generators that
+// produce scaled-down analogues of the paper's five datasets (Table 2),
+// binary serialization, and skew statistics.
+//
+// All generators are seeded and deterministic so every experiment is
+// reproducible bit-for-bit.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed edge of an edge list.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Graph is a directed graph in CSR form. The out-neighbours of vertex v
+// are Edges[Offsets[v]:Offsets[v+1]]; Weights, when non-nil, is parallel
+// to Edges.
+type Graph struct {
+	// Name labels the graph in reports.
+	Name string
+	// Offsets has NumVertices+1 entries.
+	Offsets []uint64
+	// Edges holds destination vertex ids.
+	Edges []uint32
+	// Weights holds per-edge weights (nil for unweighted graphs).
+	Weights []float32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the out-neighbour slice of v (not a copy).
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Validate checks CSR structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) == 0 {
+		return fmt.Errorf("graph %q: empty offsets", g.Name)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph %q: offsets[0] = %d, want 0", g.Name, g.Offsets[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph %q: offsets not monotone at %d", g.Name, v)
+		}
+	}
+	if g.Offsets[n] != uint64(len(g.Edges)) {
+		return fmt.Errorf("graph %q: offsets[n]=%d, want %d edges", g.Name, g.Offsets[n], len(g.Edges))
+	}
+	for i, d := range g.Edges {
+		if int(d) >= n {
+			return fmt.Errorf("graph %q: edge %d targets out-of-range vertex %d", g.Name, i, d)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph %q: %d weights for %d edges", g.Name, len(g.Weights), len(g.Edges))
+	}
+	return nil
+}
+
+// FromEdges builds a CSR graph from an edge list over numVertices
+// vertices. Edges are sorted by (src, dst); when dedup is true, duplicate
+// (src, dst) pairs are collapsed. Self-loops are kept (graph kernels
+// tolerate them).
+func FromEdges(name string, numVertices int, edges []Edge, dedup bool) (*Graph, error) {
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("graph %q: non-positive vertex count", name)
+	}
+	for _, e := range edges {
+		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+			return nil, fmt.Errorf("graph %q: edge (%d,%d) out of range", name, e.Src, e.Dst)
+		}
+	}
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	if dedup {
+		out := sorted[:0]
+		for i, e := range sorted {
+			if i > 0 && e == sorted[i-1] {
+				continue
+			}
+			out = append(out, e)
+		}
+		sorted = out
+	}
+	g := &Graph{
+		Name:    name,
+		Offsets: make([]uint64, numVertices+1),
+		Edges:   make([]uint32, len(sorted)),
+	}
+	for i, e := range sorted {
+		g.Offsets[e.Src+1]++
+		g.Edges[i] = e.Dst
+	}
+	for v := 0; v < numVertices; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	return g, nil
+}
+
+// Reverse returns the transpose of g (weights, if any, follow their
+// edges).
+func (g *Graph) Reverse() *Graph {
+	n := g.NumVertices()
+	r := &Graph{
+		Name:    g.Name + "-rev",
+		Offsets: make([]uint64, n+1),
+		Edges:   make([]uint32, len(g.Edges)),
+	}
+	if g.Weights != nil {
+		r.Weights = make([]float32, len(g.Edges))
+	}
+	for _, d := range g.Edges {
+		r.Offsets[d+1]++
+	}
+	for v := 0; v < n; v++ {
+		r.Offsets[v+1] += r.Offsets[v]
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, r.Offsets[:n])
+	for src := 0; src < n; src++ {
+		for i := g.Offsets[src]; i < g.Offsets[src+1]; i++ {
+			d := g.Edges[i]
+			pos := cursor[d]
+			cursor[d]++
+			r.Edges[pos] = uint32(src)
+			if g.Weights != nil {
+				r.Weights[pos] = g.Weights[i]
+			}
+		}
+	}
+	return r
+}
+
+// Symmetrize returns a graph with every edge present in both directions
+// (deduplicated). Weights are dropped; call AttachWeights afterwards if
+// needed.
+func (g *Graph) Symmetrize() (*Graph, error) {
+	edges := make([]Edge, 0, 2*len(g.Edges))
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, d := range g.Neighbors(v) {
+			edges = append(edges, Edge{uint32(v), d})
+			edges = append(edges, Edge{d, uint32(v)})
+		}
+	}
+	return FromEdges(g.Name+"-sym", n, edges, true)
+}
+
+// MaxDegreeVertex returns the vertex with the highest out-degree (ties
+// broken toward the lowest id) — a deterministic, well-connected source
+// for traversal kernels.
+func (g *Graph) MaxDegreeVertex() int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}

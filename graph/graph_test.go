@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atmem/internal/stats"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges("tiny", 5, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {3, 4},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBuildsValidCSR(t *testing.T) {
+	g := smallGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 6 {
+		t.Errorf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.Neighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("N(0) = %v", got)
+	}
+	if g.Degree(4) != 0 {
+		t.Errorf("deg(4) = %d", g.Degree(4))
+	}
+}
+
+func TestFromEdgesDedup(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 1}, {0, 1}, {1, 0}}
+	g, err := FromEdges("dup", 2, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("dedup kept %d edges", g.NumEdges())
+	}
+	g2, err := FromEdges("dup", 2, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 4 {
+		t.Errorf("no-dedup kept %d edges", g2.NumEdges())
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges("bad", 2, []Edge{{0, 5}}, false); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges("bad", 0, nil, false); err == nil {
+		t.Error("zero vertices accepted")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := smallGraph(t)
+	r := g.Reverse()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("reverse has %d edges", r.NumEdges())
+	}
+	// In-neighbours of 2 are {0, 1}.
+	got := r.Neighbors(2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("in-N(2) = %v", got)
+	}
+}
+
+func TestReverseRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		g, err := GenerateRMAT("r", DefaultRMAT(6, 4, seed))
+		if err != nil {
+			return false
+		}
+		rr := g.Reverse().Reverse()
+		if rr.NumVertices() != g.NumVertices() || rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(v), rr.Neighbors(v)
+			if len(a) != len(b) {
+				return false
+			}
+			// Both are produced grouped by source; orders may differ,
+			// so compare as multisets via sorting-free count match.
+			count := map[uint32]int{}
+			for _, x := range a {
+				count[x]++
+			}
+			for _, x := range b {
+				count[x]--
+			}
+			for _, c := range count {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseCarriesWeights(t *testing.T) {
+	g := smallGraph(t)
+	g.AttachWeights(1, 10)
+	r := g.Reverse()
+	if r.Weights == nil || len(r.Weights) != len(r.Edges) {
+		t.Fatal("reverse lost weights")
+	}
+	// The weight of edge 0->1 must follow it into r's in-list of 1.
+	w01 := g.Weights[0] // edges sorted: first edge is 0->1
+	found := false
+	for i := r.Offsets[1]; i < r.Offsets[2]; i++ {
+		if r.Edges[i] == 0 && r.Weights[i] == w01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weight did not follow its edge through Reverse")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := smallGraph(t)
+	s, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < s.NumVertices(); v++ {
+		for _, d := range s.Neighbors(v) {
+			back := false
+			for _, b := range s.Neighbors(int(d)) {
+				if int(b) == v {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("edge %d->%d has no reverse", v, d)
+			}
+		}
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g := smallGraph(t)
+	// Vertices 0 and 3 both have degree 2; ties break to the lower id.
+	if got := g.MaxDegreeVertex(); got != 0 {
+		t.Errorf("hub = %d", got)
+	}
+}
+
+func TestAttachWeightsDeterministic(t *testing.T) {
+	a := smallGraph(t)
+	b := smallGraph(t)
+	a.AttachWeights(42, 64)
+	b.AttachWeights(42, 64)
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("weights differ across same-seed builds")
+		}
+		if a.Weights[i] < 1 || a.Weights[i] > 64 {
+			t.Fatalf("weight %v out of range", a.Weights[i])
+		}
+	}
+}
+
+func TestRMATDeterministicAndSkewed(t *testing.T) {
+	g1, err := GenerateRMAT("a", DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenerateRMAT("b", DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("edge arrays differ")
+		}
+	}
+	st := ComputeDegreeStats(g1)
+	if st.TopShare[0.10] < 0.2 {
+		t.Errorf("RMAT top-10%% in-degree share %.2f too flat", st.TopShare[0.10])
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := GenerateRMAT("x", RMATParams{Scale: 0, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := GenerateRMAT("x", RMATParams{Scale: 4, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Error("edge factor 0 accepted")
+	}
+	if _, err := GenerateRMAT("x", RMATParams{Scale: 4, EdgeFactor: 4, A: 0.6, B: 0.3, C: 0.2}); err == nil {
+		t.Error("probabilities summing past 1 accepted")
+	}
+}
+
+func TestSocialGeneratorHubsAtLowIDs(t *testing.T) {
+	g, err := GenerateSocial("s", SocialParams{
+		NumVertices:     4096,
+		AvgDegree:       16,
+		DegreeSkew:      0.6,
+		PopularityAlpha: 0.9,
+		LocalFraction:   0.3,
+		CommunitySize:   32,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hubs concentrate at low ids: the first 10% of vertices must own
+	// a disproportionate share of out-edges.
+	var lowOut uint64
+	cut := g.NumVertices() / 10
+	for v := 0; v < cut; v++ {
+		lowOut += uint64(g.Degree(v))
+	}
+	share := float64(lowOut) / float64(g.NumEdges())
+	if share < 0.25 {
+		t.Errorf("low-id out-degree share %.2f, want >= 0.25", share)
+	}
+	// In-degree (popularity) skew must also favour low ids.
+	st := ComputeDegreeStats(g)
+	if st.TopShare[0.10] < 0.25 {
+		t.Errorf("top-10%% in-share %.2f too flat", st.TopShare[0.10])
+	}
+}
+
+func TestSocialGeneratorValidation(t *testing.T) {
+	base := SocialParams{NumVertices: 100, AvgDegree: 4}
+	bad := []func(*SocialParams){
+		func(p *SocialParams) { p.NumVertices = 1 },
+		func(p *SocialParams) { p.AvgDegree = 0 },
+		func(p *SocialParams) { p.DegreeSkew = 1.5 },
+		func(p *SocialParams) { p.LocalFraction = 2 },
+	}
+	for i, mut := range bad {
+		p := base
+		mut(&p)
+		if _, err := GenerateSocial("x", p); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDegreeStatsBasics(t *testing.T) {
+	g := smallGraph(t)
+	st := ComputeDegreeStats(g)
+	if st.Vertices != 5 || st.Edges != 6 {
+		t.Errorf("V=%d E=%d", st.Vertices, st.Edges)
+	}
+	if st.MinDegree != 0 || st.MaxDegree != 2 {
+		t.Errorf("deg range %d..%d", st.MinDegree, st.MaxDegree)
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	g := smallGraph(t)
+	want := uint64(6*8 + 6*4 + 5*8*2) // offsets + edges + 2 prop arrays
+	if got := g.FootprintBytes(2); got != want {
+		t.Errorf("footprint %d, want %d", got, want)
+	}
+	g.AttachWeights(1, 4)
+	if got := g.FootprintBytes(0); got != uint64(6*8+6*4+6*4) {
+		t.Errorf("weighted footprint %d", got)
+	}
+}
+
+// Property: out-degree sum equals edge count for generated graphs.
+func TestDegreeSumProperty(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		g, err := GenerateRMAT("r", DefaultRMAT(8, 4, rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			sum += g.Degree(v)
+		}
+		if sum != g.NumEdges() {
+			t.Fatalf("degree sum %d != %d edges", sum, g.NumEdges())
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Binary CSR format:
+//
+//	magic "ATMG", version uint32, nameLen uint32, name bytes,
+//	numVertices uint64, numEdges uint64, hasWeights uint8,
+//	offsets []uint64, edges []uint32, [weights []float32]
+//
+// all little-endian.
+
+const (
+	binMagic   = "ATMG"
+	binVersion = 1
+)
+
+// WriteBinary serializes g.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		le.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		le.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := put32(binVersion); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(g.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.Name); err != nil {
+		return err
+	}
+	if err := put64(uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := put64(uint64(len(g.Edges))); err != nil {
+		return err
+	}
+	hasW := byte(0)
+	if g.Weights != nil {
+		hasW = 1
+	}
+	if err := bw.WriteByte(hasW); err != nil {
+		return err
+	}
+	for _, o := range g.Offsets {
+		if err := put64(o); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		if err := put32(e); err != nil {
+			return err
+		}
+	}
+	if g.Weights != nil {
+		for _, w := range g.Weights {
+			if err := put32(floatBits(w)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(scratch[:8]), nil
+	}
+	ver, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	}
+	nameLen, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: absurd name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	nv, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	ne, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	const maxSane = 1 << 33
+	if nv > maxSane || ne > maxSane {
+		return nil, fmt.Errorf("graph: absurd sizes V=%d E=%d", nv, ne)
+	}
+	hasW, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Name:    string(name),
+		Offsets: make([]uint64, nv+1),
+		Edges:   make([]uint32, ne),
+	}
+	for i := range g.Offsets {
+		if g.Offsets[i], err = get64(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range g.Edges {
+		if g.Edges[i], err = get32(); err != nil {
+			return nil, err
+		}
+	}
+	if hasW == 1 {
+		g.Weights = make([]float32, ne)
+		for i := range g.Weights {
+			bits, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			g.Weights[i] = bitsFloat(bits)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseEdgeList reads a whitespace-separated "src dst [weight]" edge list
+// (SNAP-style; '#' and '%' lines are comments) and builds a CSR graph over
+// vertices 0..maxId.
+func ParseEdgeList(name string, r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	var weights []float32
+	sawWeight := false
+	maxID := uint32(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: %s:%d: want 'src dst [w]'", name, lineNo)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s:%d: %w", name, lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s:%d: %w", name, lineNo, err)
+		}
+		edges = append(edges, Edge{uint32(src), uint32(dst)})
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: %s:%d: %w", name, lineNo, err)
+			}
+			weights = append(weights, float32(w))
+			sawWeight = true
+		} else {
+			weights = append(weights, 1)
+		}
+		if uint32(src) > maxID {
+			maxID = uint32(src)
+		}
+		if uint32(dst) > maxID {
+			maxID = uint32(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph: %s: no edges", name)
+	}
+	g, err := FromEdges(name, int(maxID)+1, edges, false)
+	if err != nil {
+		return nil, err
+	}
+	if sawWeight {
+		// FromEdges reordered the edges; rebuild weights by re-sorting
+		// pairs alongside. For simplicity re-attach deterministic
+		// weights only when the input had none; otherwise map by pair.
+		type keyed struct {
+			e Edge
+			w float32
+		}
+		kw := make([]keyed, len(edges))
+		for i := range edges {
+			kw[i] = keyed{edges[i], weights[i]}
+		}
+		// Build a lookup of first weight per pair.
+		seen := make(map[Edge]float32, len(kw))
+		for _, k := range kw {
+			if _, ok := seen[k.e]; !ok {
+				seen[k.e] = k.w
+			}
+		}
+		g.Weights = make([]float32, len(g.Edges))
+		for v := 0; v < g.NumVertices(); v++ {
+			for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+				g.Weights[i] = seen[Edge{uint32(v), g.Edges[i]}]
+			}
+		}
+	}
+	return g, nil
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := GenerateRMAT("roundtrip", DefaultRMAT(8, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights(9, 32)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %s V=%d E=%d", got.Name, got.NumVertices(), got.NumEdges())
+	}
+	for i := range g.Offsets {
+		if g.Offsets[i] != got.Offsets[i] {
+			t.Fatal("offsets differ")
+		}
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] || g.Weights[i] != got.Weights[i] {
+			t.Fatal("edges or weights differ")
+		}
+	}
+}
+
+func TestBinaryRoundTripUnweighted(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weights != nil {
+		t.Error("unweighted graph gained weights")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("ATMG")); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestReadBinaryRejectsTruncatedBody(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+0 2
+1 2 3.5
+3 0
+`
+	g, err := ParseEdgeList("parsed", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Errorf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Weights == nil {
+		t.Fatal("weighted line should trigger weights")
+	}
+	// Find the 1->2 edge and check its weight.
+	found := false
+	for i := g.Offsets[1]; i < g.Offsets[2]; i++ {
+		if g.Edges[i] == 2 && g.Weights[i] == 3.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weight 3.5 lost")
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",            // no edges
+		"0\n",         // missing dst
+		"a b\n",       // non-numeric
+		"0 1 weird\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ParseEdgeList("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

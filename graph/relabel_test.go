@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRelabelPreservesTopology(t *testing.T) {
+	g := smallGraph(t)
+	g.AttachWeights(3, 16)
+	perm := []int{4, 3, 2, 1, 0} // reverse ids
+	r, err := g.Relabel("rev", perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() || r.NumVertices() != g.NumVertices() {
+		t.Fatal("shape changed")
+	}
+	// Edge 0->1 becomes 4->3, with its weight intact.
+	var w01 float32
+	for i := g.Offsets[0]; i < g.Offsets[1]; i++ {
+		if g.Edges[i] == 1 {
+			w01 = g.Weights[i]
+		}
+	}
+	found := false
+	for i := r.Offsets[4]; i < r.Offsets[5]; i++ {
+		if r.Edges[i] == 3 && r.Weights[i] == w01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("edge 0->1 not found as 4->3 with its weight")
+	}
+}
+
+func TestRelabelRejectsNonPermutations(t *testing.T) {
+	g := smallGraph(t)
+	if _, err := g.Relabel("x", []int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := g.Relabel("x", []int{0, 0, 1, 2, 3}); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+	if _, err := g.Relabel("x", []int{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+func TestShuffleLabelsDeterministicAndDegreePreserving(t *testing.T) {
+	g, err := GenerateRMAT("r", DefaultRMAT(8, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.ShuffleLabels(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ShuffleLabels(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	// Degree multiset is preserved.
+	degCount := map[int]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		degCount[g.Degree(v)]++
+		degCount[a.Degree(v)]--
+	}
+	for _, c := range degCount {
+		if c != 0 {
+			t.Fatal("degree multiset changed")
+		}
+	}
+}
+
+func TestShuffleDestroysHubLocality(t *testing.T) {
+	g, err := Load("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := g.ShuffleLabels(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(gr *Graph) float64 {
+		var low uint64
+		cut := gr.NumVertices() / 10
+		for v := 0; v < cut; v++ {
+			low += uint64(gr.Degree(v))
+		}
+		return float64(low) / float64(gr.NumEdges())
+	}
+	if share(shuffled) > share(g)*0.6 {
+		t.Errorf("shuffle kept low-id hub share: %.2f vs %.2f", share(shuffled), share(g))
+	}
+}
+
+func TestDegreeOrderPacksHubs(t *testing.T) {
+	g, err := Load("pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := g.DegreeOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ordered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total degree must be non-increasing across the first ids.
+	deg := func(gr *Graph) []int {
+		d := make([]int, gr.NumVertices())
+		for v := 0; v < gr.NumVertices(); v++ {
+			d[v] += gr.Degree(v)
+		}
+		for _, dst := range gr.Edges {
+			d[dst]++
+		}
+		return d
+	}
+	d := deg(ordered)
+	for v := 1; v < 100; v++ {
+		if d[v] > d[v-1] {
+			t.Fatalf("degree order violated at %d: %d > %d", v, d[v], d[v-1])
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DegreeStats summarizes the out-degree distribution of a graph.
+type DegreeStats struct {
+	Vertices  int
+	Edges     int
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+	// TopShare[k] is the fraction of all edge endpoints (in-degree
+	// mass) owned by the top k-fraction of vertices by in-degree, for
+	// k in {0.01, 0.05, 0.10, 0.20}. This is the skew metric that
+	// predicts how much data ATMem can leave on slow memory.
+	TopShare map[float64]float64
+}
+
+// ComputeDegreeStats measures g.
+func ComputeDegreeStats(g *Graph) DegreeStats {
+	n := g.NumVertices()
+	st := DegreeStats{
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		MinDegree: 1 << 30,
+		TopShare:  map[float64]float64{},
+	}
+	if n == 0 {
+		st.MinDegree = 0
+		return st
+	}
+	inDeg := make([]int, n)
+	for _, d := range g.Edges {
+		inDeg[d]++
+	}
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	st.AvgDegree = float64(st.Edges) / float64(n)
+
+	sorted := make([]int, n)
+	copy(sorted, inDeg)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	prefix := make([]int, n+1)
+	for i, d := range sorted {
+		prefix[i+1] = prefix[i] + d
+	}
+	for _, k := range []float64{0.01, 0.05, 0.10, 0.20} {
+		top := int(float64(n) * k)
+		if top < 1 {
+			top = 1
+		}
+		if st.Edges > 0 {
+			st.TopShare[k] = float64(prefix[top]) / float64(st.Edges)
+		}
+	}
+	return st
+}
+
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d avg=%.1f max=%d] top10%%share=%.2f",
+		s.Vertices, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree, s.TopShare[0.10])
+}
+
+// FootprintBytes estimates the memory footprint of the graph's CSR arrays
+// plus nPropArrays per-vertex 8-byte property arrays — what an application
+// registers with ATMem.
+func (g *Graph) FootprintBytes(nPropArrays int) uint64 {
+	n := uint64(g.NumVertices())
+	e := uint64(g.NumEdges())
+	total := (n + 1) * 8 // offsets
+	total += e * 4       // edges
+	if g.Weights != nil {
+		total += e * 4
+	}
+	total += n * 8 * uint64(nPropArrays)
+	return total
+}

@@ -1,0 +1,184 @@
+// Package cache implements a set-associative last-level-cache model.
+//
+// The simulated LLC serves two purposes in the ATMem reproduction. First,
+// it decides which accesses reach memory and therefore pay tier latency and
+// consume tier bandwidth — graph kernels are dominated by LLC misses
+// (paper §2.2), and the relative miss volume between the dense and sparse
+// regions of a data structure is what the analyzer ranks. Second, the miss
+// stream is what the PEBS-style profiler samples: the hardware event the
+// paper programs is "missed reads from the last-level cache" (Eq. 1).
+//
+// Each simulated hardware thread owns a private slice of the LLC (a
+// partitioned model of a shared cache), which keeps the simulator lock-free
+// and deterministic under parallel execution.
+package cache
+
+// Cache is a set-associative cache with LRU replacement inside each set.
+// It tracks line presence only — data contents live in the Go slices that
+// back simulated objects.
+type Cache struct {
+	setMask  uint64
+	ways     int
+	tags     []uint64 // sets*ways entries; tag 0 means empty (tag = line+1)
+	stamps   []uint64 // LRU clock per entry
+	dirty    []bool
+	clock    uint64
+	hits     uint64
+	misses   uint64
+	capacity int
+	lineSize int
+
+	// OnEvict, when set, observes every replaced line (called before
+	// the new line is installed). Writeback modelling hangs off the
+	// dirty flag.
+	OnEvict func(line uint64, dirty bool)
+}
+
+// New builds a cache of sizeBytes capacity with the given line size and
+// associativity. sizeBytes is rounded down to a power-of-two set count; the
+// cache always has at least one set. New panics on non-positive or
+// non-power-of-two lineBytes, or non-positive ways.
+func New(sizeBytes, lineBytes, ways int) *Cache {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("cache: line size must be a positive power of two")
+	}
+	if ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two so the index is a mask.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	c := &Cache{
+		setMask:  uint64(sets - 1),
+		ways:     ways,
+		tags:     make([]uint64, sets*ways),
+		stamps:   make([]uint64, sets*ways),
+		dirty:    make([]bool, sets*ways),
+		capacity: sets * ways * lineBytes,
+		lineSize: lineBytes,
+	}
+	return c
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Capacity returns the effective capacity in bytes after rounding.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access looks up the given line number (address / line size) and returns
+// whether it hit. On a miss the line is installed, evicting the LRU way of
+// its set.
+func (c *Cache) Access(line uint64) bool {
+	return c.AccessHint(line, false)
+}
+
+// AccessHint is Access with a streaming hint: a streaming (sequential)
+// miss is installed at the LRU position instead of MRU, so one-shot
+// streams flow through without evicting the reused working set — the
+// behaviour of modern stream-resistant insertion policies (DRRIP et al.)
+// that large shared LLCs implement. A later hit on the line still
+// promotes it to MRU.
+func (c *Cache) AccessHint(line uint64, streaming bool) bool {
+	tag := line + 1 // reserve 0 for "empty"
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	victim := set
+	oldest := ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.hits++
+			return true
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	if c.tags[victim] != 0 && c.OnEvict != nil {
+		c.OnEvict(c.tags[victim]-1, c.dirty[victim])
+	}
+	c.tags[victim] = tag
+	c.dirty[victim] = false
+	if streaming {
+		// Insert as the set's next eviction candidate: strictly older
+		// than every live entry (saturating at zero).
+		stamp := oldest
+		if stamp > 0 {
+			stamp--
+		}
+		c.stamps[victim] = stamp
+	} else {
+		c.stamps[victim] = c.clock
+	}
+	c.misses++
+	return false
+}
+
+// MarkDirty flags the line as modified if present, so its eventual
+// eviction is reported as a writeback. Returns whether the line was
+// found.
+func (c *Cache) MarkDirty(line uint64) bool {
+	tag := line + 1
+	set := int(line&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.dirty[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the line is currently cached, without touching
+// LRU state or hit/miss counters.
+func (c *Cache) Contains(line uint64) bool {
+	tag := line + 1
+	set := int(line&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange drops every cached line in [loLine, hiLine). Migration
+// engines use this to model the cache effects of moving data.
+func (c *Cache) InvalidateRange(loLine, hiLine uint64) {
+	for i, tag := range c.tags {
+		if tag == 0 {
+			continue
+		}
+		line := tag - 1
+		if line >= loLine && line < hiLine {
+			c.tags[i] = 0
+			c.stamps[i] = 0
+			c.dirty[i] = false
+		}
+	}
+}
+
+// Flush empties the cache and resets counters.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+		c.dirty[i] = false
+	}
+	c.clock = 0
+	c.hits = 0
+	c.misses = 0
+}
+
+// Hits returns the number of hits since the last Flush.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses since the last Flush.
+func (c *Cache) Misses() uint64 { return c.misses }

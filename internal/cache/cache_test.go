@@ -1,0 +1,218 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterAccess(t *testing.T) {
+	c := New(1024, 64, 4)
+	if c.Access(5) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(5) {
+		t.Error("second access should hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One set, 2 ways: lines mapping to the same set evict LRU-first.
+	c := New(2*64, 64, 2) // 1 set, 2 ways
+	c.Access(0)
+	c.Access(1)
+	c.Access(0) // 0 is now MRU
+	c.Access(2) // evicts 1
+	if !c.Contains(0) {
+		t.Error("line 0 should survive (MRU)")
+	}
+	if c.Contains(1) {
+		t.Error("line 1 should be evicted (LRU)")
+	}
+	if !c.Contains(2) {
+		t.Error("line 2 should be present")
+	}
+}
+
+func TestStreamingInsertionEvictsFirst(t *testing.T) {
+	c := New(2*64, 64, 2) // 1 set, 2 ways
+	c.Access(0)           // resident, MRU
+	c.AccessHint(1, true) // streaming: inserted at LRU
+	c.Access(2)           // should evict the streaming line 1, not 0
+	if !c.Contains(0) {
+		t.Error("reused line 0 evicted by streaming flow")
+	}
+	if c.Contains(1) {
+		t.Error("streaming line 1 should be the eviction victim")
+	}
+}
+
+func TestStreamingLinePromotedOnReuse(t *testing.T) {
+	c := New(2*64, 64, 2)
+	c.Access(0)
+	c.AccessHint(1, true)
+	c.Access(1) // reuse promotes to MRU
+	c.Access(2) // now 0 is LRU
+	if c.Contains(0) {
+		t.Error("line 0 should be evicted after line 1's promotion")
+	}
+	if !c.Contains(1) {
+		t.Error("promoted line 1 should survive")
+	}
+}
+
+func TestContainsDoesNotTouchState(t *testing.T) {
+	c := New(1024, 64, 4)
+	c.Access(3)
+	h, m := c.Hits(), c.Misses()
+	c.Contains(3)
+	c.Contains(99)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("Contains changed counters")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(4096, 64, 4)
+	for line := uint64(0); line < 16; line++ {
+		c.Access(line)
+	}
+	c.InvalidateRange(4, 8)
+	for line := uint64(0); line < 16; line++ {
+		want := line < 4 || line >= 8
+		if c.Contains(line) != want {
+			t.Errorf("line %d: contains=%v, want %v", line, c.Contains(line), want)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(1024, 64, 4)
+	c.Access(1)
+	c.Access(2)
+	c.Flush()
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("flush left lines resident")
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("flush did not reset counters")
+	}
+}
+
+func TestDirtyEvictionCallback(t *testing.T) {
+	c := New(2*64, 64, 2) // 1 set, 2 ways
+	var evicted []uint64
+	var dirtyFlags []bool
+	c.OnEvict = func(line uint64, dirty bool) {
+		evicted = append(evicted, line)
+		dirtyFlags = append(dirtyFlags, dirty)
+	}
+	c.Access(0)
+	if !c.MarkDirty(0) {
+		t.Fatal("MarkDirty of resident line failed")
+	}
+	c.Access(1)
+	c.Access(2) // evicts 0 (dirty)
+	c.Access(3) // evicts 1 (clean)
+	if len(evicted) != 2 {
+		t.Fatalf("evictions: %v", evicted)
+	}
+	if evicted[0] != 0 || !dirtyFlags[0] {
+		t.Errorf("first eviction: line %d dirty=%v, want 0/dirty", evicted[0], dirtyFlags[0])
+	}
+	if evicted[1] != 1 || dirtyFlags[1] {
+		t.Errorf("second eviction: line %d dirty=%v, want 1/clean", evicted[1], dirtyFlags[1])
+	}
+}
+
+func TestDirtyClearedOnReplace(t *testing.T) {
+	c := New(2*64, 64, 2)
+	c.Access(0)
+	c.MarkDirty(0)
+	c.Access(1)
+	c.Access(2) // evicts dirty 0; slot reused for 2 (clean)
+	dirtyEvicts := 0
+	c.OnEvict = func(line uint64, dirty bool) {
+		if dirty {
+			dirtyEvicts++
+		}
+	}
+	c.Access(3) // evicts 1
+	c.Access(4) // evicts 2 — must be clean
+	if dirtyEvicts != 0 {
+		t.Error("replacement inherited a stale dirty bit")
+	}
+}
+
+func TestMarkDirtyMissingLine(t *testing.T) {
+	c := New(1024, 64, 4)
+	if c.MarkDirty(42) {
+		t.Error("MarkDirty of absent line should return false")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	c := New(1000, 64, 4) // rounds down to a power-of-two set count
+	if c.Capacity() > 1000 || c.Capacity() <= 0 {
+		t.Errorf("capacity %d out of range", c.Capacity())
+	}
+	if c.LineSize() != 64 {
+		t.Errorf("line size %d", c.LineSize())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(1024, 0, 4) },
+		func() { New(1024, 65, 4) },
+		func() { New(1024, 64, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameters should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: after Access(line), Contains(line) is always true.
+func TestAccessInstallsLine(t *testing.T) {
+	c := New(8192, 64, 8)
+	check := func(line uint64) bool {
+		c.Access(line)
+		return c.Contains(line)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses equals total accesses.
+func TestCounterConservation(t *testing.T) {
+	c := New(4096, 64, 4)
+	lines := []uint64{1, 2, 3, 1, 2, 99, 1, 500, 3}
+	for _, l := range lines {
+		c.Access(l)
+	}
+	if c.Hits()+c.Misses() != uint64(len(lines)) {
+		t.Errorf("hits %d + misses %d != %d", c.Hits(), c.Misses(), len(lines))
+	}
+}
+
+// Property: working sets within capacity never miss after warm-up.
+func TestNoCapacityMissesWithinWorkingSet(t *testing.T) {
+	c := New(64*64, 64, 64) // fully associative, 64 lines
+	for round := 0; round < 3; round++ {
+		for line := uint64(0); line < 64; line++ {
+			c.Access(line)
+		}
+	}
+	if c.Misses() != 64 {
+		t.Errorf("misses %d, want 64 (cold only)", c.Misses())
+	}
+}

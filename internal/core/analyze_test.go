@@ -1,0 +1,268 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atmem/internal/pebs"
+)
+
+// twoObjectRegistry builds a registry with one hot-skewed object and one
+// cold object, sampled deterministically.
+func twoObjectRegistry(t *testing.T) *Registry {
+	t.Helper()
+	cfg := DefaultConfig()
+	r := NewRegistry(cfg)
+	hot, err := r.Register("hot", 1<<30, 16*cfg.MinChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("cold", 1<<31, 16*cfg.MinChunkBytes); err != nil {
+		t.Fatal(err)
+	}
+	var samples []pebs.Sample
+	// Hot object: chunks 0-3 dense, the rest sparse.
+	for j := 0; j < 16; j++ {
+		lo, _ := hot.ChunkRange(j)
+		n := 4
+		if j < 4 {
+			n = 200
+		}
+		for k := 0; k < n; k++ {
+			samples = append(samples, pebs.Sample{Addr: lo + uint64(k*64)})
+		}
+	}
+	r.AttributeSamples(samples)
+	return r
+}
+
+func TestAnalyzeSelectsHotRegions(t *testing.T) {
+	r := twoObjectRegistry(t)
+	plan, err := Analyze(r, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes != 2*16*DefaultConfig().MinChunkBytes {
+		t.Errorf("total bytes %d", plan.TotalBytes)
+	}
+	var hotPlan, coldPlan *ObjectPlan
+	for i := range plan.Objects {
+		switch plan.Objects[i].Object.Name {
+		case "hot":
+			hotPlan = &plan.Objects[i]
+		case "cold":
+			coldPlan = &plan.Objects[i]
+		}
+	}
+	if hotPlan.SelectedBytes() == 0 {
+		t.Fatal("hot object not selected")
+	}
+	if !hotPlan.Local.Critical[0] || hotPlan.Local.Critical[8] {
+		t.Errorf("selection misplaced: %v", hotPlan.Local.Critical)
+	}
+	if coldPlan.SelectedBytes() != 0 {
+		t.Error("cold object selected")
+	}
+	if plan.SelectedBytes == 0 || plan.DataRatio() <= 0 || plan.DataRatio() > 1 {
+		t.Errorf("plan totals: selected=%d ratio=%v", plan.SelectedBytes, plan.DataRatio())
+	}
+}
+
+func TestAnalyzeRangesAreMergedAndOrdered(t *testing.T) {
+	r := twoObjectRegistry(t)
+	plan, err := Analyze(r, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Objects {
+		var prevEnd uint64
+		for _, rg := range op.Ranges {
+			if rg.Size == 0 {
+				t.Error("empty range in plan")
+			}
+			if rg.Base < op.Object.Base || rg.End() > op.Object.Base+op.Object.Size {
+				t.Error("range outside its object")
+			}
+			if rg.Base < prevEnd {
+				t.Error("ranges overlap or are unordered")
+			}
+			if rg.Base == prevEnd && prevEnd != 0 {
+				t.Error("adjacent ranges not merged")
+			}
+			prevEnd = rg.End()
+		}
+	}
+}
+
+func TestAnalyzeZeroPeriodRejected(t *testing.T) {
+	r := twoObjectRegistry(t)
+	if _, err := Analyze(r, 0, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestAnalyzeCapacityBudgetClips(t *testing.T) {
+	r := twoObjectRegistry(t)
+	unlimited, err := Analyze(r, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.SelectedBytes <= DefaultConfig().MinChunkBytes {
+		t.Skip("selection too small to clip")
+	}
+	budget := DefaultConfig().MinChunkBytes
+	clipped, err := Analyze(r, 64, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped.SelectedBytes > budget {
+		t.Errorf("selected %d exceeds budget %d", clipped.SelectedBytes, budget)
+	}
+	if clipped.ClippedBytes == 0 {
+		t.Error("no bytes reported clipped")
+	}
+	// The densest chunks must survive clipping.
+	var hotFirst bool
+	for _, op := range clipped.Objects {
+		if op.Object.Name != "hot" {
+			continue
+		}
+		for _, rg := range op.Ranges {
+			if rg.Base == op.Object.Base {
+				hotFirst = true
+			}
+		}
+	}
+	if !hotFirst {
+		t.Error("clipping dropped the densest region")
+	}
+}
+
+// Property: selected bytes never exceed the budget (when set) nor the
+// total footprint, and per-object byte split is consistent.
+func TestAnalyzeBudgetProperty(t *testing.T) {
+	r := twoObjectRegistry(t)
+	check := func(budgetRaw uint32) bool {
+		budget := uint64(budgetRaw) % (64 << 20)
+		plan, err := Analyze(r, 64, budget)
+		if err != nil {
+			return false
+		}
+		if budget > 0 && plan.SelectedBytes > budget {
+			return false
+		}
+		if plan.SelectedBytes > plan.TotalBytes {
+			return false
+		}
+		for _, op := range plan.Objects {
+			var sum uint64
+			for _, rg := range op.Ranges {
+				sum += rg.Size
+			}
+			if sum != op.SelectedBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalRescuePullsHotUniformObject(t *testing.T) {
+	cfg := DefaultConfig()
+	r := NewRegistry(cfg)
+	hot, err := r.Register("uniform-hot", 1<<30, 8*cfg.MinChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := r.Register("uniform-cold", 1<<31, 8*cfg.MinChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []pebs.Sample
+	for j := 0; j < 8; j++ {
+		lo, _ := hot.ChunkRange(j)
+		for k := 0; k < 100; k++ {
+			samples = append(samples, pebs.Sample{Addr: lo + uint64(k*64)})
+		}
+		lo, _ = cold.ChunkRange(j)
+		for k := 0; k < 3; k++ {
+			samples = append(samples, pebs.Sample{Addr: lo + uint64(k*64)})
+		}
+	}
+	r.AttributeSamples(samples)
+	plan, err := Analyze(r, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Objects {
+		switch op.Object.Name {
+		case "uniform-hot":
+			if op.SelectedBytes() != op.Object.Size {
+				t.Errorf("uniform-hot selected %d of %d", op.SelectedBytes(), op.Object.Size)
+			}
+		case "uniform-cold":
+			if op.SelectedBytes() != 0 {
+				t.Errorf("uniform-cold selected %d", op.SelectedBytes())
+			}
+		}
+	}
+}
+
+func TestEpsilonSweepMonotoneRatio(t *testing.T) {
+	r := twoObjectRegistry(t)
+	var prev float64 = -1
+	// Decreasing ε must never shrink the selection (the fig9/fig10
+	// sweep axis).
+	for _, eps := range []float64{0.999, 0.5, 0.25, 0.1, 0.02} {
+		cfg := DefaultConfig()
+		cfg.Epsilon = eps
+		if err := r.SetConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := Analyze(r, 64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && plan.DataRatio() < prev-1e-9 {
+			t.Errorf("ε=%v shrank ratio to %v from %v", eps, plan.DataRatio(), prev)
+		}
+		prev = plan.DataRatio()
+	}
+}
+
+func TestTreePromotionMergesGapsInPlan(t *testing.T) {
+	cfg := DefaultConfig()
+	r := NewRegistry(cfg)
+	o, err := r.Register("gappy", 1<<30, 16*cfg.MinChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunks 0,1,3 hot; chunk 2 is a sampling gap inside a dense
+	// region; chunks 8+ cold. Promotion should patch chunk 2, making
+	// one contiguous range (§4.3's migration-efficiency argument).
+	var samples []pebs.Sample
+	for _, j := range []int{0, 1, 3} {
+		lo, _ := o.ChunkRange(j)
+		for k := 0; k < 150; k++ {
+			samples = append(samples, pebs.Sample{Addr: lo + uint64(k*64)})
+		}
+	}
+	r.AttributeSamples(samples)
+	plan, err := Analyze(r, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := plan.Objects[0]
+	if !op.Estimated[2] {
+		t.Fatalf("gap chunk not promoted: estimated=%v", op.Estimated)
+	}
+	if len(op.Ranges) != 1 {
+		t.Errorf("expected one merged range, got %d", len(op.Ranges))
+	}
+	if op.EstimatedBytes == 0 || op.SampledBytes == 0 {
+		t.Errorf("byte split: sampled=%d estimated=%d", op.SampledBytes, op.EstimatedBytes)
+	}
+}

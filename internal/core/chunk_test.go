@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atmem/internal/pebs"
+)
+
+func TestChunkSizeAdaptsToObjectSize(t *testing.T) {
+	cfg := DefaultConfig()
+	small := ChunkSizeFor(64<<10, cfg)
+	big := ChunkSizeFor(64<<20, cfg)
+	if small != cfg.MinChunkBytes {
+		t.Errorf("small object chunk %d, want min %d", small, cfg.MinChunkBytes)
+	}
+	if big <= small {
+		t.Error("bigger object should get bigger chunks")
+	}
+	if big > cfg.MaxChunkBytes {
+		t.Errorf("chunk %d exceeds max", big)
+	}
+}
+
+// Property: chunks tile the object exactly — sizes sum to the object
+// size and ranges are contiguous and non-overlapping.
+func TestChunksPartitionObject(t *testing.T) {
+	cfg := DefaultConfig()
+	check := func(rawSize uint32) bool {
+		size := uint64(rawSize)%(64<<20) + 1
+		r := NewRegistry(cfg)
+		o, err := r.Register("x", 1<<30, size)
+		if err != nil {
+			return false
+		}
+		var total uint64
+		prevHi := o.Base
+		for j := 0; j < o.NumChunks; j++ {
+			lo, hi := o.ChunkRange(j)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		return total == size && prevHi == o.Base+size
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterRejectsOverlap(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	if _, err := r.Register("a", 0x100000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", 0x108000, 0x10000); err == nil {
+		t.Error("overlapping registration accepted")
+	}
+	if _, err := r.Register("c", 0xF8000, 0x10000); err == nil {
+		t.Error("overlap from below accepted")
+	}
+	if _, err := r.Register("d", 0x110000, 0x10000); err != nil {
+		t.Errorf("adjacent registration rejected: %v", err)
+	}
+}
+
+func TestRegisterZeroSize(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	if _, err := r.Register("z", 0, 0); err == nil {
+		t.Error("zero-size registration accepted")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	o, err := r.Register("a", 0x100000, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unregister(o.Base); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Objects()) != 0 {
+		t.Error("object still registered")
+	}
+	if err := r.Unregister(o.Base); err == nil {
+		t.Error("double unregister accepted")
+	}
+}
+
+func TestFindResolvesAddressToChunk(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	o, err := r.Register("a", 1<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, chunk, ok := r.Find(o.Base + o.ChunkSize + 5)
+	if !ok || obj != o || chunk != 1 {
+		t.Errorf("Find = %v,%d,%v", obj, chunk, ok)
+	}
+	if _, _, ok := r.Find(o.Base - 1); ok {
+		t.Error("Find resolved address below object")
+	}
+	if _, _, ok := r.Find(o.Base + o.Size); ok {
+		t.Error("Find resolved address past object")
+	}
+}
+
+func TestAttributeSamples(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	o, err := r.Register("a", 1<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []pebs.Sample{
+		{Addr: o.Base, Write: false},
+		{Addr: o.Base + o.ChunkSize, Write: false},
+		{Addr: o.Base + o.ChunkSize, Write: true},
+		{Addr: 0x10, Write: false}, // outside any object: dropped
+	}
+	if n := r.AttributeSamples(samples); n != 3 {
+		t.Errorf("attributed %d, want 3", n)
+	}
+	if o.ReadSamples()[0] != 1 || o.ReadSamples()[1] != 1 {
+		t.Errorf("read counts %v", o.ReadSamples()[:2])
+	}
+	if o.WriteSamples()[1] != 1 {
+		t.Errorf("write counts %v", o.WriteSamples()[:2])
+	}
+	r.ResetSamples()
+	if o.ReadSamples()[0] != 0 || o.WriteSamples()[1] != 0 {
+		t.Error("ResetSamples left counts")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	if _, err := r.Register("a", 1<<20, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", 1<<21, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.TotalBytes(); got != 192<<10 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := r.TotalChunks(); got != 12 { // 8 + 4 chunks of 16 KiB
+		t.Errorf("TotalChunks = %d", got)
+	}
+}
+
+func TestObjectsSortedByBase(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	if _, err := r.Register("high", 1<<22, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("low", 1<<20, 4096); err != nil {
+		t.Fatal(err)
+	}
+	objs := r.Objects()
+	if len(objs) != 2 || objs[0].Name != "low" || objs[1].Name != "high" {
+		t.Errorf("objects out of order: %v, %v", objs[0].Name, objs[1].Name)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.TargetChunksPerObject = 0 },
+		func(c *Config) { c.MinChunkBytes = 0 },
+		func(c *Config) { c.MinChunkBytes = 3000 },
+		func(c *Config) { c.MaxChunkBytes = c.MinChunkBytes / 2 },
+		func(c *Config) { c.PercentileN = 150 },
+		func(c *Config) { c.M = 1 },
+		func(c *Config) { c.BaseTRThreshold = 0 },
+		func(c *Config) { c.Epsilon = 2 },
+		func(c *Config) { c.DispersionThreshold = -1 },
+		func(c *Config) { c.UniformHotFactor = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestEffectiveEpsilon(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.M = 8
+	cfg.Epsilon = 0
+	if got := cfg.EffectiveEpsilon(); got != 0.125 {
+		t.Errorf("octree ε = %v, want 0.125 (paper §4.3.2)", got)
+	}
+	cfg.Epsilon = 0.3
+	if got := cfg.EffectiveEpsilon(); got != 0.3 {
+		t.Errorf("explicit ε = %v", got)
+	}
+}

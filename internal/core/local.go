@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+
+	"atmem/internal/stats"
+)
+
+// LocalSelection is the outcome of the hybrid local selection (§4.2) for
+// one data object: the per-chunk priority scores of Eq. 1, the threshold θ
+// of Eq. 2, and the sampled-critical categorization of Eq. 3.
+type LocalSelection struct {
+	// PR holds PR_local(DC_ij) per chunk: estimated LLC read misses per
+	// byte (sample count x sampling period / chunk size).
+	PR []float64
+	// Theta is the selected threshold θ(DO_i).
+	Theta float64
+	// Critical is CAT per chunk (true = sampled critical).
+	Critical []bool
+	// NumCritical counts true entries of Critical.
+	NumCritical int
+	// Weight is W(DO_i) of Eq. 4: the mean priority of the selected
+	// chunks, or 0 when nothing was selected.
+	Weight float64
+	// Uniform marks an object whose per-chunk sample counts are
+	// statistically indistinguishable from a uniform (Poisson) spread:
+	// there is no internal hot region to isolate, so the object is
+	// treated as a single all-or-nothing unit and its selection is
+	// decided by the global stage against the cross-object density
+	// (the coarse-grained behaviour §9 describes for regular access).
+	Uniform bool
+	// MeanPR is the object's average priority (misses per byte).
+	MeanPR float64
+}
+
+// SelectLocal runs the hybrid local selection for one object.
+//
+// Priority (Eq. 1): PR_local(DC_ij) = LLC_mr(DC_ij) / Size(DC_ij), with
+// the sampled read-miss count scaled back up by the sampling period so
+// priorities are comparable across profiling configurations.
+//
+// Threshold (Eq. 2): the paper combines a conventional top-N percentile
+// P_n with a "derivative-based classification similar to a k-means
+// clustering technique" that adapts to the skew of the distribution, plus
+// a theoretical minimum priority adjusted for the sampling rate. The
+// published formula is typeset ambiguously, so this implementation makes
+// the mechanism explicit:
+//
+//   - the primary candidate is a one-dimensional 2-means split of the
+//     non-zero priorities (the knee between the hot and cold clusters) —
+//     on a highly skewed distribution it rises above P_n and selects
+//     fewer chunks, on an even distribution it falls below P_n and
+//     selects more, exactly the two adjustments §4.2 motivates;
+//   - when the split degenerates (near-uniform distribution) the
+//     threshold falls back to the P_n percentile;
+//   - the result is floored at FloorFraction of one sample's worth of
+//     priority (period/chunkSize), the theoretical minimum for a chunk
+//     that was sampled at all: chunks with zero samples can never be
+//     sampled-critical, only tree-promoted.
+func SelectLocal(o *DataObject, period uint64, cfg Config) LocalSelection {
+	n := o.NumChunks
+	sel := LocalSelection{
+		PR:       make([]float64, n),
+		Critical: make([]bool, n),
+	}
+	if n == 0 {
+		return sel
+	}
+	p := float64(period)
+	for j := 0; j < n; j++ {
+		size := float64(o.ChunkBytes(j))
+		if size == 0 {
+			continue
+		}
+		sel.PR[j] = float64(o.readSamples[j]) * p / size
+	}
+
+	floor := cfg.FloorFraction * p / float64(o.ChunkSize)
+
+	var totalSamples uint64
+	nonzero := make([]float64, 0, n)
+	for j, pr := range sel.PR {
+		totalSamples += o.readSamples[j]
+		if pr > 0 {
+			nonzero = append(nonzero, pr)
+		}
+	}
+	sel.MeanPR = float64(totalSamples) * p / float64(o.Size)
+	if len(nonzero) == 0 {
+		sel.Theta = floor
+		return sel
+	}
+
+	// Sample counts are Poisson draws; a truly uniform-density object
+	// produces variance ≈ mean in count units (dispersion index ≈ 1)
+	// and any 2-means split of it only bisects noise. Such objects
+	// carry no internal hot region: they are classified Uniform and
+	// selected whole or not at all by the global stage (§9's
+	// coarse-grained behaviour for regular access patterns).
+	if dispersionIndex(o.readSamples) < cfg.DispersionThreshold {
+		sel.Uniform = true
+		sel.Theta = floor
+		return sel
+	}
+
+	knee := stats.TwoMeansSplit(nonzero)
+	theta := knee
+	if degenerate(nonzero, knee) {
+		theta = stats.Percentile(sel.PR, cfg.PercentileN)
+	}
+	if theta < floor {
+		theta = floor
+	}
+	sel.Theta = theta
+
+	var prSum float64
+	for j, pr := range sel.PR {
+		if pr > theta {
+			sel.Critical[j] = true
+			sel.NumCritical++
+			prSum += pr
+		}
+	}
+	// Guarantee progress: if the threshold excluded everything (e.g. a
+	// perfectly flat distribution where no PR strictly exceeds θ), keep
+	// the maximum-priority chunks, matching the top-N intent.
+	if sel.NumCritical == 0 {
+		maxPR := 0.0
+		for _, pr := range sel.PR {
+			if pr > maxPR {
+				maxPR = pr
+			}
+		}
+		if maxPR >= floor {
+			for j, pr := range sel.PR {
+				if pr == maxPR {
+					sel.Critical[j] = true
+					sel.NumCritical++
+					prSum += pr
+				}
+			}
+			sel.Theta = math.Nextafter(maxPR, 0)
+		}
+	}
+	if sel.NumCritical > 0 {
+		sel.Weight = prSum / float64(sel.NumCritical)
+	}
+	return sel
+}
+
+// dispersionIndex returns the variance-to-mean ratio of the per-chunk
+// sample counts. Pure Poisson sampling noise over a uniform-density
+// object yields ≈ 1; genuine hot/cold structure yields values far above.
+func dispersionIndex(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	mean := sum / float64(len(counts))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	variance := ss / float64(len(counts))
+	return variance / mean
+}
+
+// degenerate reports whether the 2-means split failed to separate the
+// distribution: one side empty, or the split indistinguishable from the
+// extremes.
+func degenerate(xs []float64, split float64) bool {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var above, below int
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		if x > split {
+			above++
+		} else {
+			below++
+		}
+	}
+	if above == 0 || below == 0 {
+		return true
+	}
+	span := hi - lo
+	if span == 0 {
+		return true
+	}
+	// A split that hugs an extreme separates nothing meaningful.
+	return (split-lo)/span < 1e-9 || (hi-split)/span < 1e-9
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atmem/internal/pebs"
+)
+
+// makeObject builds a registered object with the given per-chunk read
+// sample counts.
+func makeObject(t *testing.T, counts []uint64) (*Registry, *DataObject) {
+	t.Helper()
+	cfg := DefaultConfig()
+	r := NewRegistry(cfg)
+	size := uint64(len(counts)) * cfg.MinChunkBytes
+	o, err := r.Register("obj", 1<<30, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumChunks != len(counts) {
+		t.Fatalf("chunks %d, want %d", o.NumChunks, len(counts))
+	}
+	var samples []pebs.Sample
+	for j, c := range counts {
+		lo, _ := o.ChunkRange(j)
+		for k := uint64(0); k < c; k++ {
+			samples = append(samples, pebs.Sample{Addr: lo + k*64})
+		}
+	}
+	r.AttributeSamples(samples)
+	return r, o
+}
+
+func TestSelectLocalSkewedDistribution(t *testing.T) {
+	// Two chunks at ~100 samples, fourteen at ~2: the knee must fall
+	// between the clusters, selecting exactly the hot pair (§4.2's
+	// skewed case: fewer than top-N%).
+	counts := []uint64{100, 98, 2, 3, 1, 2, 3, 2, 1, 3, 2, 2, 1, 3, 2, 2}
+	_, o := makeObject(t, counts)
+	sel := SelectLocal(o, 64, DefaultConfig())
+	if sel.Uniform {
+		t.Fatal("skewed distribution classified uniform")
+	}
+	if sel.NumCritical != 2 || !sel.Critical[0] || !sel.Critical[1] {
+		t.Errorf("critical = %v (n=%d), want first two chunks", sel.Critical, sel.NumCritical)
+	}
+	if sel.Weight == 0 {
+		t.Error("weight not computed")
+	}
+}
+
+func TestSelectLocalUniformDistribution(t *testing.T) {
+	// Poisson-ish counts around a common mean: no internal structure,
+	// so the object defers to the global stage.
+	counts := []uint64{30, 33, 29, 31, 34, 28, 30, 32, 31, 29, 33, 30, 28, 31, 32, 30}
+	_, o := makeObject(t, counts)
+	sel := SelectLocal(o, 64, DefaultConfig())
+	if !sel.Uniform {
+		t.Error("uniform distribution not classified uniform")
+	}
+	if sel.NumCritical != 0 {
+		t.Error("uniform object selected chunks locally")
+	}
+	if sel.MeanPR <= 0 {
+		t.Error("mean priority missing")
+	}
+}
+
+func TestSelectLocalZeroSamples(t *testing.T) {
+	_, o := makeObject(t, make([]uint64, 8))
+	sel := SelectLocal(o, 64, DefaultConfig())
+	if sel.NumCritical != 0 || sel.Uniform {
+		t.Errorf("cold object: critical=%d uniform=%v", sel.NumCritical, sel.Uniform)
+	}
+}
+
+func TestSelectLocalPriorityNormalizedBySize(t *testing.T) {
+	counts := []uint64{50, 0, 0, 0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0}
+	_, o := makeObject(t, counts)
+	sel := SelectLocal(o, 64, DefaultConfig())
+	// PR = count * period / chunkSize (Eq. 1).
+	want := 50.0 * 64 / float64(o.ChunkSize)
+	if sel.PR[0] != want || sel.PR[8] != want {
+		t.Errorf("PR = %v/%v, want %v", sel.PR[0], sel.PR[8], want)
+	}
+}
+
+func TestSelectLocalFloorExcludesSubSampleChunks(t *testing.T) {
+	// The theoretical minimum priority (Eq. 2's sampling-rate term):
+	// chunks with zero samples can never be sampled-critical even if
+	// the threshold otherwise lands at zero.
+	counts := []uint64{5, 0, 0, 0, 0, 0, 0, 0}
+	_, o := makeObject(t, counts)
+	sel := SelectLocal(o, 64, DefaultConfig())
+	for j := 1; j < len(counts); j++ {
+		if sel.Critical[j] {
+			t.Errorf("zero-sample chunk %d selected", j)
+		}
+	}
+	if !sel.Critical[0] {
+		t.Error("the only sampled chunk not selected")
+	}
+}
+
+func TestSelectLocalEmptyObject(t *testing.T) {
+	o := &DataObject{}
+	sel := SelectLocal(o, 64, DefaultConfig())
+	if sel.NumCritical != 0 || len(sel.PR) != 0 {
+		t.Error("empty object misbehaved")
+	}
+}
+
+func TestDispersionIndex(t *testing.T) {
+	if got := dispersionIndex(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := dispersionIndex([]uint64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant counts = %v, want 0", got)
+	}
+	// Strong structure: variance far above mean.
+	hot := dispersionIndex([]uint64{100, 0, 0, 0, 100, 0, 0, 0})
+	if hot < 10 {
+		t.Errorf("structured dispersion %v too low", hot)
+	}
+	// Poisson-like: variance ≈ mean.
+	poisson := dispersionIndex([]uint64{3, 5, 4, 6, 2, 5, 4, 3, 5, 4, 6, 3})
+	if poisson > 2 {
+		t.Errorf("noise dispersion %v too high", poisson)
+	}
+}
+
+// Property: local selection invariants across random sample patterns —
+// the threshold never falls below the sampling floor, only sampled
+// chunks can be critical, and the weight is the mean priority of the
+// selected chunks.
+func TestSelectLocalProperties(t *testing.T) {
+	cfg := DefaultConfig()
+	r := NewRegistry(cfg)
+	o, err := r.Register("p", 1<<30, 32*cfg.MinChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(raw []uint16) bool {
+		r.ResetSamples()
+		var samples []pebs.Sample
+		for j := 0; j < o.NumChunks && j < len(raw); j++ {
+			lo, _ := o.ChunkRange(j)
+			for k := 0; k < int(raw[j]%512); k++ {
+				samples = append(samples, pebs.Sample{Addr: lo + uint64(k*8)%o.ChunkSize})
+			}
+		}
+		r.AttributeSamples(samples)
+		sel := SelectLocal(o, 64, cfg)
+		floor := cfg.FloorFraction * 64 / float64(o.ChunkSize)
+		if len(samples) > 0 && !sel.Uniform && sel.Theta < floor {
+			return false
+		}
+		n := 0
+		var prSum float64
+		for j, crit := range sel.Critical {
+			if crit {
+				if o.ReadSamples()[j] == 0 {
+					return false // unsampled chunk sampled-critical
+				}
+				n++
+				prSum += sel.PR[j]
+			}
+		}
+		if n != sel.NumCritical {
+			return false
+		}
+		if n > 0 {
+			want := prSum / float64(n)
+			if diff := sel.Weight - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

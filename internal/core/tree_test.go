@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeConstructionPaperExample(t *testing.T) {
+	// Figure 3a: eight data chunks under a binary tree; chunks 0, 1,
+	// and 2 critical gives node values summing up the levels.
+	critical := []bool{true, true, true, false, false, false, false, false}
+	tree := BuildTree(critical, 2)
+	root := tree.Height() - 1
+	if got := tree.Value(root, 0); got != 3 {
+		t.Errorf("root value %d, want 3", got)
+	}
+	if got := tree.LeafCount(root, 0); got != 8 {
+		t.Errorf("root leaf count %d, want 8", got)
+	}
+	// Figure 3b's N_11-style internal node: the first 4 leaves hold 3
+	// critical chunks, so TR = 3/4.
+	level := root - 1
+	if got := tree.TR(level, 0); got != 0.75 {
+		t.Errorf("TR = %v, want 0.75", got)
+	}
+	if got := tree.TR(level, 1); got != 0 {
+		t.Errorf("right subtree TR = %v, want 0", got)
+	}
+}
+
+func TestTernaryTree(t *testing.T) {
+	critical := make([]bool, 9)
+	critical[0] = true
+	critical[4] = true
+	tree := BuildTree(critical, 3)
+	if tree.Height() != 3 {
+		t.Errorf("height %d, want 3", tree.Height())
+	}
+	root := tree.Height() - 1
+	if tree.Value(root, 0) != 2 || tree.LeafCount(root, 0) != 9 {
+		t.Errorf("root %d/%d", tree.Value(root, 0), tree.LeafCount(root, 0))
+	}
+}
+
+func TestTreeNonPowerLeafCount(t *testing.T) {
+	// 6 leaves under arity 4: two internal nodes with 4 and 2 leaves.
+	critical := []bool{true, false, false, false, true, true}
+	tree := BuildTree(critical, 4)
+	if tree.NodesAt(1) != 2 {
+		t.Fatalf("level-1 nodes = %d", tree.NodesAt(1))
+	}
+	if tree.LeafCount(1, 0) != 4 || tree.LeafCount(1, 1) != 2 {
+		t.Errorf("leaf counts %d,%d", tree.LeafCount(1, 0), tree.LeafCount(1, 1))
+	}
+	if tree.TR(1, 1) != 1.0 {
+		t.Errorf("partial node TR = %v, want 1", tree.TR(1, 1))
+	}
+}
+
+func TestPromotePatchesGap(t *testing.T) {
+	// Figure 3c: threshold 0.5; a subtree with TR 0.75 promotes its
+	// non-critical leaf, the all-zero subtree stays out.
+	critical := []bool{true, true, true, false, false, false, false, false}
+	tree := BuildTree(critical, 2)
+	promoted := tree.Promote(0.5, critical)
+	if !promoted[3] {
+		t.Error("gap leaf 3 not promoted despite TR 0.75 >= 0.5")
+	}
+	for i := 4; i < 8; i++ {
+		if promoted[i] {
+			t.Errorf("leaf %d promoted from an all-cold subtree", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if promoted[i] {
+			t.Errorf("critical leaf %d double-marked as promoted", i)
+		}
+	}
+}
+
+func TestPromoteThresholdSensitivity(t *testing.T) {
+	critical := []bool{true, false, false, false, false, false, false, false}
+	tree := BuildTree(critical, 2)
+	// Root TR = 1/8: a threshold at or below it promotes everything.
+	all := tree.Promote(0.125, critical)
+	for i := 1; i < 8; i++ {
+		if !all[i] {
+			t.Fatalf("leaf %d not promoted at root-level threshold", i)
+		}
+	}
+	// A threshold above every node's TR except the critical leaf itself
+	// promotes nothing.
+	none := tree.Promote(0.9, critical)
+	for i, p := range none {
+		if p {
+			t.Errorf("leaf %d promoted at threshold 0.9", i)
+		}
+	}
+}
+
+func TestPromoteEmptyAndDegenerate(t *testing.T) {
+	tree := BuildTree(nil, 4)
+	if got := tree.Promote(0.5, nil); len(got) != 0 {
+		t.Error("empty tree promoted leaves")
+	}
+	cold := make([]bool, 16)
+	tree = BuildTree(cold, 4)
+	for _, p := range tree.Promote(0.0001, cold) {
+		if p {
+			t.Error("promotion without any critical anchor")
+		}
+	}
+}
+
+func TestBuildTreeArityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity 1 should panic")
+		}
+	}()
+	BuildTree([]bool{true}, 1)
+}
+
+// Property: tree ratios lie in [0,1], every internal node's value is the
+// sum of its children, and leaf counts add up.
+func TestTreeInvariants(t *testing.T) {
+	check := func(bits []bool, mRaw uint8) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		if len(bits) > 4096 {
+			bits = bits[:4096]
+		}
+		m := int(mRaw%7) + 2
+		tree := BuildTree(bits, m)
+		for level := 0; level < tree.Height(); level++ {
+			for idx := 0; idx < tree.NodesAt(level); idx++ {
+				tr := tree.TR(level, idx)
+				if tr < 0 || tr > 1 {
+					return false
+				}
+				if level == 0 {
+					continue
+				}
+				var vsum, lsum int
+				for k := idx * m; k < (idx+1)*m && k < tree.NodesAt(level-1); k++ {
+					vsum += tree.Value(level-1, k)
+					lsum += tree.LeafCount(level-1, k)
+				}
+				if vsum != tree.Value(level, idx) || lsum != tree.LeafCount(level, idx) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: promotion is monotone in the threshold — a lower threshold
+// never promotes fewer leaves — and never promotes without an anchor.
+func TestPromotionMonotone(t *testing.T) {
+	check := func(bits []bool, loRaw, hiRaw uint8) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		if len(bits) > 1024 {
+			bits = bits[:1024]
+		}
+		lo := float64(loRaw) / 255
+		hi := float64(hiRaw) / 255
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == 0 {
+			lo = 0.001
+		}
+		tree := BuildTree(bits, 4)
+		pLo := tree.Promote(lo, bits)
+		pHi := tree.Promote(hi, bits)
+		anyCritical := false
+		for _, b := range bits {
+			if b {
+				anyCritical = true
+			}
+		}
+		for i := range bits {
+			if pHi[i] && !pLo[i] {
+				return false // lower threshold promoted less
+			}
+			if pLo[i] && !anyCritical {
+				return false // promotion without any anchor
+			}
+			if pLo[i] && bits[i] {
+				return false // critical leaves are never "promoted"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptTRThreshold(t *testing.T) {
+	// Max-weight object gets ε; min-weight gets ε + base.
+	base, eps := 0.5, 0.25
+	if got := AdaptTRThreshold(10, 2, 10, true, base, eps); got != eps {
+		t.Errorf("max-weight threshold %v, want ε", got)
+	}
+	if got := AdaptTRThreshold(2, 2, 10, true, base, eps); got != eps+base {
+		t.Errorf("min-weight threshold %v, want ε+base", got)
+	}
+	mid := AdaptTRThreshold(6, 2, 10, true, base, eps)
+	if mid <= eps || mid >= eps+base {
+		t.Errorf("mid-weight threshold %v out of range", mid)
+	}
+	// Degenerate weight space: everyone is at the max.
+	if got := AdaptTRThreshold(5, 5, 5, true, base, eps); got != eps {
+		t.Errorf("degenerate space threshold %v, want ε", got)
+	}
+	if got := AdaptTRThreshold(0, 0, 0, false, base, eps); got != eps {
+		t.Errorf("empty space threshold %v, want ε", got)
+	}
+	// Clamped to [0,1].
+	if got := AdaptTRThreshold(0, 0, 1, true, 0.9, 0.5); got != 1 {
+		t.Errorf("threshold %v not clamped to 1", got)
+	}
+}

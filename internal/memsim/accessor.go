@@ -1,0 +1,353 @@
+package memsim
+
+import (
+	"atmem/internal/cache"
+)
+
+// MissHook observes every LLC miss an accessor takes (the event stream a
+// PEBS-style profiler samples). It returns extra cycles to charge the
+// accessing thread — the profiler's interrupt/capture overhead, so that
+// profiling cost shows up in simulated time exactly where it would on
+// hardware (§7.4).
+type MissHook func(addr uint64, write bool) float64
+
+// Accessor is the per-thread memory access path: a private LLC partition,
+// split 4 KiB/2 MiB TLBs, a sequential-miss (prefetch) detector, and cycle
+// and byte accounting. Kernels call Load/Store for every simulated memory
+// access and Compute for ALU work.
+//
+// Accessors are not safe for concurrent use; each simulated thread owns
+// one. The page table must not be modified while accessors are running —
+// the runtime's phase structure guarantees this.
+type Accessor struct {
+	sys   *System
+	llc   *cache.Cache
+	tlb4k *TLB
+	tlb2m *TLB
+
+	// l1 is a small set-associative first-level filter; hits cost
+	// almost nothing and never reach the LLC model.
+	l1 *cache.Cache
+
+	lineShift uint
+	hook      MissHook
+
+	// cost constants in cycles, precomputed from SystemParams
+	l1HitCycles      float64
+	llcHitCycles     float64
+	pageWalkCycles   float64
+	loadMissCycles   [NumTiers]float64 // exposed latency per random miss
+	storeMissCycles  [NumTiers]float64
+	prefetchedCycles [NumTiers]float64 // exposed latency per sequential miss
+	grain            [NumTiers]uint64
+
+	// Cycles is the accumulated simulated time of this thread, in core
+	// cycles (compute + exposed memory latency + profiling overhead).
+	Cycles float64
+
+	// Traffic counters, indexed by tier. WritebackBytes counts dirty
+	// LLC evictions (asynchronous traffic: it consumes bandwidth but
+	// exposes no latency).
+	ReadBytes      [NumTiers]uint64
+	WriteBytes     [NumTiers]uint64
+	WritebackBytes [NumTiers]uint64
+	Writebacks     uint64
+
+	// Event counters. PrefetchedLines counts sequential line fetches
+	// covered by the prefetcher: they consume bandwidth but are not
+	// demand LLC misses and are invisible to the profiler.
+	Accesses        uint64
+	L1Hits          uint64
+	LLCHits         uint64
+	LLCMisses       uint64
+	PrefetchedLines uint64
+	TLBMisses       uint64
+}
+
+// NewAccessor creates the access path for one simulated thread. Each
+// worker models its gang's view of the shared LLC with a private replica
+// of the full capacity: graph properties are read-shared by every thread
+// on the real machine, so one shared copy serves all gangs — a replica
+// per worker approximates that without cross-thread locking (private
+// streaming data does not benefit because it is inserted at LRU).
+func (s *System) NewAccessor() *Accessor {
+	p := &s.P
+	a := &Accessor{
+		sys:            s,
+		llc:            cache.New(p.LLCBytes, p.LineBytes, p.LLCWays),
+		tlb4k:          NewTLB(p.TLB4KEntries, smallShift),
+		tlb2m:          NewTLB(p.TLB2MEntries, hugeShift),
+		l1:             cache.New(p.L1Bytes, p.LineBytes, 4),
+		lineShift:      uint(trailingZeros(p.LineBytes)),
+		l1HitCycles:    p.L1HitCycles,
+		llcHitCycles:   p.LLCHitNS * p.ClockGHz,
+		pageWalkCycles: p.PageWalkNS * p.ClockGHz,
+	}
+	for t := Tier(0); t < NumTiers; t++ {
+		tp := p.Tiers[t]
+		a.loadMissCycles[t] = tp.LoadLatencyNS * p.ClockGHz / p.MLP
+		a.storeMissCycles[t] = tp.StoreLatencyNS * p.ClockGHz / p.MLP
+		a.prefetchedCycles[t] = a.loadMissCycles[t] * p.PrefetchFactor
+		a.grain[t] = uint64(tp.AccessGrainBytes)
+	}
+	// Dirty LLC evictions write their line back to whichever memory
+	// backs it. Random writebacks pay the device grain (the dominant
+	// cost of scatter-write kernels on Optane media); consecutive
+	// lines coalesce into one device block, as sequentially-written
+	// buffers evict in order.
+	var lastWb uint64 = ^uint64(0)
+	a.llc.OnEvict = func(line uint64, dirty bool) {
+		if !dirty {
+			return
+		}
+		t, ok := s.pt.TierOf(line << a.lineShift)
+		if !ok {
+			return // freed mapping; writeback dropped
+		}
+		bytes := a.grain[t]
+		if line == lastWb+1 {
+			bytes = uint64(1) << a.lineShift
+		}
+		lastWb = line
+		a.WritebackBytes[t] += bytes
+		a.Writebacks++
+	}
+	return a
+}
+
+func trailingZeros(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// SetMissHook installs (or clears, with nil) the profiler hook.
+func (a *Accessor) SetMissHook(h MissHook) { a.hook = h }
+
+// Compute charges cycles of ALU/control work to this thread.
+func (a *Accessor) Compute(cycles float64) { a.Cycles += cycles }
+
+// Load simulates a read of size bytes at addr.
+func (a *Accessor) Load(addr uint64, size uint32) { a.access(addr, size, false) }
+
+// Store simulates a write of size bytes at addr.
+func (a *Accessor) Store(addr uint64, size uint32) { a.access(addr, size, true) }
+
+func (a *Accessor) access(addr uint64, size uint32, write bool) {
+	a.Accesses++
+	line := addr >> a.lineShift
+	lastTouched := (addr + uint64(size) - 1) >> a.lineShift
+	for {
+		a.accessLine(line, write)
+		if line >= lastTouched {
+			break
+		}
+		line++
+	}
+}
+
+func (a *Accessor) accessLine(line uint64, write bool) {
+	// L1 filter: a hit is the common case for sequential and
+	// register-blocked access and costs almost nothing. Stores dirty
+	// the LLC copy of the line (caches are modelled inclusive).
+	if a.l1.Access(line) {
+		a.L1Hits++
+		a.Cycles += a.l1HitCycles
+		if write {
+			a.llc.MarkDirty(line)
+		}
+		return
+	}
+	// Detect streaming at the L1-miss level against the tracked
+	// prefetch streams, so the LLC can use stream-resistant insertion
+	// and the cost model can apply prefetch coverage below.
+	sequential := a.detectStream(line)
+	if a.llc.AccessHint(line, sequential) {
+		a.LLCHits++
+		a.Cycles += a.llcHitCycles
+		if write {
+			a.llc.MarkDirty(line)
+		}
+		return
+	}
+	if write {
+		a.llc.MarkDirty(line)
+	}
+	addr := line << a.lineShift
+	pi := a.sys.pt.Translate(addr)
+
+	// Translation: consult the TLB matching the mapping's page size.
+	tlb := a.tlb4k
+	if pi.Huge {
+		tlb = a.tlb2m
+	}
+	if !tlb.Lookup(addr) {
+		a.TLBMisses++
+		a.Cycles += a.pageWalkCycles
+	}
+
+	t := pi.Tier
+
+	lineBytes := uint64(1) << a.lineShift
+	grainBytes := a.grain[t]
+	demand := true
+	if sequential {
+		// Consecutive lines of a stream share the device access grain,
+		// and the prefetcher covers most of them: only ~1/N of line
+		// fetches surface as demand misses the profiler can observe.
+		// The choice hashes the line number so it is deterministic yet
+		// decorrelated across interleaved streams (a shared counter
+		// phase-locks onto one stream and biases the sampler).
+		grainBytes = lineBytes
+		demand = mix64(line)%uint64(a.sys.P.PrefetchDemandInterval) == 0
+	}
+	if write {
+		if sequential {
+			a.Cycles += a.storeMissCycles[t] * a.sys.P.PrefetchFactor
+		} else {
+			a.Cycles += a.storeMissCycles[t]
+		}
+		a.WriteBytes[t] += grainBytes
+	} else {
+		if sequential {
+			a.Cycles += a.prefetchedCycles[t]
+		} else {
+			a.Cycles += a.loadMissCycles[t]
+		}
+		a.ReadBytes[t] += grainBytes
+	}
+	if !demand {
+		a.PrefetchedLines++
+		return
+	}
+	a.LLCMisses++
+	if a.hook != nil {
+		a.Cycles += a.hook(addr, write)
+	}
+}
+
+// mix64 is a SplitMix64-style finalizer used to decorrelate per-line
+// decisions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// detectStream classifies a line fetch as sequential when its
+// predecessor line is still resident in the (small) L1: an active
+// forward stream fetched line-1 only a handful of accesses ago, so this
+// is robust to arbitrarily interleaved parallel-array streams, while a
+// random miss rarely lands one line past recently-touched data.
+func (a *Accessor) detectStream(line uint64) bool {
+	return line > 0 && a.l1.Contains(line-1)
+}
+
+// InvalidateTLBRange models a TLB shootdown over [base, base+size) for
+// this thread.
+func (a *Accessor) InvalidateTLBRange(base, size uint64) {
+	a.tlb4k.InvalidateRange(base, size)
+	a.tlb2m.InvalidateRange(base, size)
+}
+
+// InvalidateCacheRange drops cached lines in the byte range
+// [base, base+size).
+func (a *Accessor) InvalidateCacheRange(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	lo := base >> a.lineShift
+	hi := (base+size-1)>>a.lineShift + 1
+	a.llc.InvalidateRange(lo, hi)
+	a.l1.InvalidateRange(lo, hi)
+}
+
+// ResetCounters zeroes time and traffic counters while keeping cache and
+// TLB state warm — used between a warm-up and a measured phase.
+func (a *Accessor) ResetCounters() {
+	a.Cycles = 0
+	a.ReadBytes = [NumTiers]uint64{}
+	a.WriteBytes = [NumTiers]uint64{}
+	a.WritebackBytes = [NumTiers]uint64{}
+	a.Writebacks = 0
+	a.Accesses = 0
+	a.L1Hits = 0
+	a.LLCHits = 0
+	a.LLCMisses = 0
+	a.PrefetchedLines = 0
+	a.TLBMisses = 0
+}
+
+// PhaseStats aggregates the execution of one phase (e.g. one benchmark
+// iteration) across all threads and converts it into simulated wall time.
+type PhaseStats struct {
+	// WallSeconds is the simulated elapsed time of the phase.
+	WallSeconds float64
+	// LatencySeconds is the latency-path component (slowest thread).
+	LatencySeconds float64
+	// BandwidthSeconds is the traffic-path component.
+	BandwidthSeconds float64
+	// ReadBytes / WriteBytes / WritebackBytes per tier, summed over
+	// threads.
+	ReadBytes       [NumTiers]uint64
+	WriteBytes      [NumTiers]uint64
+	WritebackBytes  [NumTiers]uint64
+	Accesses        uint64
+	L1Hits          uint64
+	LLCHits         uint64
+	LLCMisses       uint64
+	PrefetchedLines uint64
+	TLBMisses       uint64
+}
+
+// ReducePhase folds per-thread accessor state into PhaseStats. Simulated
+// wall time is the maximum of the slowest thread's cycle time and the
+// per-tier bandwidth time; when the tiers share memory channels (Optane)
+// their transfer times serialize, otherwise they overlap (KNL).
+func (s *System) ReducePhase(accs []*Accessor) PhaseStats {
+	var ps PhaseStats
+	var maxCycles float64
+	for _, a := range accs {
+		if a.Cycles > maxCycles {
+			maxCycles = a.Cycles
+		}
+		for t := 0; t < NumTiers; t++ {
+			ps.ReadBytes[t] += a.ReadBytes[t]
+			ps.WriteBytes[t] += a.WriteBytes[t]
+			ps.WritebackBytes[t] += a.WritebackBytes[t]
+		}
+		ps.Accesses += a.Accesses
+		ps.L1Hits += a.L1Hits
+		ps.LLCHits += a.LLCHits
+		ps.LLCMisses += a.LLCMisses
+		ps.PrefetchedLines += a.PrefetchedLines
+		ps.TLBMisses += a.TLBMisses
+	}
+	ps.LatencySeconds = maxCycles / (s.P.ClockGHz * 1e9 * float64(s.P.GangSize))
+
+	var tierSeconds [NumTiers]float64
+	for t := Tier(0); t < NumTiers; t++ {
+		tp := s.P.Tiers[t]
+		tierSeconds[t] = float64(ps.ReadBytes[t])/(tp.ReadBWGBs*1e9) +
+			float64(ps.WriteBytes[t]+ps.WritebackBytes[t])/(tp.WriteBWGBs*1e9)
+	}
+	if s.P.SharedChannels {
+		ps.BandwidthSeconds = tierSeconds[TierFast] + tierSeconds[TierSlow]
+	} else {
+		ps.BandwidthSeconds = tierSeconds[TierFast]
+		if tierSeconds[TierSlow] > ps.BandwidthSeconds {
+			ps.BandwidthSeconds = tierSeconds[TierSlow]
+		}
+	}
+	ps.WallSeconds = ps.LatencySeconds
+	if ps.BandwidthSeconds > ps.WallSeconds {
+		ps.WallSeconds = ps.BandwidthSeconds
+	}
+	return ps
+}

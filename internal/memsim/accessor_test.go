@@ -1,0 +1,283 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// accessorFixture builds a system with one object on each tier.
+func accessorFixture(t *testing.T) (*System, uint64, uint64) {
+	t.Helper()
+	s := NewSystem(testParams())
+	fast, err := s.Alloc(1*MiB, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.Alloc(1*MiB, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fast, slow
+}
+
+func TestAccessorCountsAccesses(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(fast, 8)
+	a.Store(fast+64, 8)
+	if a.Accesses != 2 {
+		t.Errorf("accesses = %d", a.Accesses)
+	}
+	if a.Cycles <= 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestAccessCrossingLines(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	a := s.NewAccessor()
+	// An 8-byte access straddling a line boundary touches two lines.
+	a.Load(fast+60, 8)
+	if a.L1Hits+a.LLCHits+a.LLCMisses+a.PrefetchedLines != 2 {
+		t.Errorf("expected 2 line touches, got hits=%d+%d misses=%d pf=%d",
+			a.L1Hits, a.LLCHits, a.LLCMisses, a.PrefetchedLines)
+	}
+}
+
+func TestRepeatedAccessHitsL1(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(fast, 8)
+	before := a.L1Hits
+	a.Load(fast, 8)
+	if a.L1Hits != before+1 {
+		t.Error("repeated access should hit L1")
+	}
+}
+
+func TestTierTrafficAttribution(t *testing.T) {
+	s, fast, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	// Random-stride reads so nothing is classified sequential.
+	for i := uint64(0); i < 64; i++ {
+		a.Load(fast+i*577*64%MiB, 8)
+	}
+	if a.ReadBytes[TierFast] == 0 {
+		t.Error("no fast-tier read bytes recorded")
+	}
+	if a.ReadBytes[TierSlow] != 0 {
+		t.Error("slow-tier bytes recorded for fast-only accesses")
+	}
+	for i := uint64(0); i < 64; i++ {
+		a.Load(slow+i*577*64%MiB, 8)
+	}
+	if a.ReadBytes[TierSlow] == 0 {
+		t.Error("no slow-tier read bytes recorded")
+	}
+}
+
+func TestGrainAmplificationOnRandomSlowReads(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	// Two random (non-adjacent) misses on the slow tier.
+	a.Load(slow, 8)
+	a.Load(slow+512*64, 8)
+	grain := uint64(s.P.Tiers[TierSlow].AccessGrainBytes)
+	if a.ReadBytes[TierSlow] != 2*grain {
+		t.Errorf("read bytes %d, want %d (device grain amplification)",
+			a.ReadBytes[TierSlow], 2*grain)
+	}
+}
+
+func TestSequentialStreamCoalescesGrain(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	const lines = 64
+	for i := uint64(0); i < lines*64; i += 64 {
+		a.Load(slow+i, 8)
+	}
+	// First line is a random miss (grain), the remaining 63 are
+	// sequential (line-sized).
+	grain := uint64(s.P.Tiers[TierSlow].AccessGrainBytes)
+	want := grain + (lines-1)*64
+	if a.ReadBytes[TierSlow] != want {
+		t.Errorf("stream read bytes %d, want %d", a.ReadBytes[TierSlow], want)
+	}
+}
+
+func TestPrefetchCoverageHidesDemandMisses(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	const lines = 512
+	for i := uint64(0); i < lines*64; i += 64 {
+		a.Load(slow+i, 8)
+	}
+	if a.PrefetchedLines == 0 {
+		t.Error("no prefetch-covered lines on a long stream")
+	}
+	// Roughly 1/PrefetchDemandInterval of stream lines surface as
+	// demand misses.
+	demand := a.LLCMisses
+	if demand == 0 {
+		t.Error("prefetcher hid every demand miss")
+	}
+	frac := float64(demand) / float64(lines)
+	wantFrac := 1 / float64(s.P.PrefetchDemandInterval)
+	if frac > 3*wantFrac {
+		t.Errorf("demand fraction %.3f, want about %.3f", frac, wantFrac)
+	}
+}
+
+func TestMissHookSeesOnlyDemandMisses(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	var hookCalls uint64
+	a.SetMissHook(func(addr uint64, write bool) float64 {
+		hookCalls++
+		return 0
+	})
+	for i := uint64(0); i < 512*64; i += 64 {
+		a.Load(slow+i, 8)
+	}
+	if hookCalls != a.LLCMisses {
+		t.Errorf("hook calls %d != demand misses %d", hookCalls, a.LLCMisses)
+	}
+}
+
+func TestMissHookOverheadCharged(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(slow, 8) // cold miss without hook
+	base := a.Cycles
+	a.SetMissHook(func(addr uint64, write bool) float64 { return 1000 })
+	a.Load(slow+999*64, 8) // another random miss
+	if a.Cycles < base+1000 {
+		t.Error("hook overhead not charged")
+	}
+}
+
+func TestTLBMissOnFirstTouch(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(slow, 8)
+	if a.TLBMisses != 1 {
+		t.Errorf("TLB misses = %d, want 1", a.TLBMisses)
+	}
+	// Same huge page: no further walk even for a different line.
+	a.Load(slow+8192, 8)
+	if a.TLBMisses != 1 {
+		t.Errorf("TLB misses = %d after same-page access", a.TLBMisses)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a := s.NewAccessor()
+	// Dirty many random lines, far exceeding LLC capacity, to force
+	// dirty evictions.
+	span := uint64(1 * MiB)
+	for i := uint64(0); i < 32768; i++ {
+		a.Store(slow+(i*7919*64)%span, 8)
+	}
+	if a.WritebackBytes[TierSlow] == 0 {
+		t.Error("no writeback traffic from dirty evictions")
+	}
+	if a.Writebacks == 0 {
+		t.Error("no writebacks counted")
+	}
+}
+
+func TestInvalidateCacheRangeForcesMisses(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(fast, 8)
+	a.InvalidateCacheRange(fast, 64)
+	missesBefore := a.LLCMisses
+	a.Load(fast, 8)
+	if a.LLCMisses != missesBefore+1 {
+		t.Error("invalidated line did not miss")
+	}
+}
+
+func TestResetCountersKeepsCacheWarm(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	a := s.NewAccessor()
+	a.Load(fast, 8)
+	a.ResetCounters()
+	if a.Cycles != 0 || a.Accesses != 0 || a.LLCMisses != 0 {
+		t.Error("counters not reset")
+	}
+	a.Load(fast, 8)
+	if a.L1Hits != 1 {
+		t.Error("cache state lost across reset")
+	}
+}
+
+func TestReducePhaseWallTime(t *testing.T) {
+	s, _, slow := accessorFixture(t)
+	a1 := s.NewAccessor()
+	a2 := s.NewAccessor()
+	for i := uint64(0); i < 1024; i++ {
+		a1.Load(slow+(i*577*64)%MiB, 8)
+	}
+	a2.Compute(1e6)
+	ps := s.ReducePhase([]*Accessor{a1, a2})
+	if ps.WallSeconds <= 0 {
+		t.Fatal("no wall time")
+	}
+	if ps.WallSeconds < ps.BandwidthSeconds || ps.WallSeconds < ps.LatencySeconds {
+		t.Error("wall time below its components")
+	}
+	// Latency path reflects the slowest thread divided by the gang.
+	wantLat := 1e6 / (s.P.ClockGHz * 1e9 * float64(s.P.GangSize))
+	if ps.LatencySeconds < wantLat {
+		t.Errorf("latency path %v below compute-bound thread %v", ps.LatencySeconds, wantLat)
+	}
+}
+
+func TestSharedChannelsSerializeTraffic(t *testing.T) {
+	p := testParams()
+	p.SharedChannels = true
+	s := NewSystem(p)
+	fast, _ := s.Alloc(MiB, TierFast)
+	slow, _ := s.Alloc(MiB, TierSlow)
+	a := s.NewAccessor()
+	for i := uint64(0); i < 512; i++ {
+		a.Load(fast+(i*577*64)%MiB, 8)
+		a.Load(slow+(i*577*64)%MiB, 8)
+	}
+	shared := s.ReducePhase([]*Accessor{a}).BandwidthSeconds
+
+	p2 := testParams()
+	p2.SharedChannels = false
+	s2 := NewSystem(p2)
+	fast2, _ := s2.Alloc(MiB, TierFast)
+	slow2, _ := s2.Alloc(MiB, TierSlow)
+	b := s2.NewAccessor()
+	for i := uint64(0); i < 512; i++ {
+		b.Load(fast2+(i*577*64)%MiB, 8)
+		b.Load(slow2+(i*577*64)%MiB, 8)
+	}
+	independent := s2.ReducePhase([]*Accessor{b}).BandwidthSeconds
+	if shared <= independent {
+		t.Errorf("shared channels (%v) should cost more than independent (%v)",
+			shared, independent)
+	}
+}
+
+func TestSlowTierCostsMoreThanFast(t *testing.T) {
+	s, fast, slow := accessorFixture(t)
+	run := func(base uint64) float64 {
+		a := s.NewAccessor()
+		for i := uint64(0); i < 4096; i++ {
+			a.Load(base+(i*577*64)%MiB, 8)
+		}
+		return s.ReducePhase([]*Accessor{a}).WallSeconds
+	}
+	tFast, tSlow := run(fast), run(slow)
+	if tSlow <= tFast {
+		t.Errorf("slow tier (%v) not slower than fast tier (%v)", tSlow, tFast)
+	}
+	if tSlow < 2*tFast {
+		t.Errorf("random-access tier gap only %.2fx, want >= 2x", tSlow/tFast)
+	}
+}

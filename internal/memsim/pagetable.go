@@ -1,0 +1,175 @@
+package memsim
+
+import "fmt"
+
+// PageInfo describes the mapping of one 4 KiB virtual page.
+type PageInfo struct {
+	// Mapped is false for unmapped address space.
+	Mapped bool
+	// Huge is true when the page is part of a 2 MiB mapping.
+	Huge bool
+	// Tier is the physical memory the page resides on.
+	Tier Tier
+}
+
+// PageTable maps a flat virtual address space to memory tiers at 4 KiB
+// granularity, with huge-page (2 MiB) mappings represented as 512
+// consecutive entries flagged Huge. It is the substrate both migration
+// engines manipulate: the ATMem engine remaps ranges wholesale and keeps
+// huge mappings, while the mbind-style engine splinters them into 4 KiB
+// pages (§2.3, §7.3).
+type PageTable struct {
+	pages []PageInfo // indexed by vaddr >> 12
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{}
+}
+
+const (
+	smallShift = 12
+	hugeShift  = 16 // log2(HugePage)
+	// PagesPerHuge is the number of 4 KiB entries in one huge mapping.
+	PagesPerHuge = 1 << (hugeShift - smallShift)
+)
+
+func (pt *PageTable) grow(vpage uint64) {
+	if need := int(vpage) + 1; need > len(pt.pages) {
+		grown := make([]PageInfo, need*2)
+		copy(grown, pt.pages)
+		pt.pages = grown
+	}
+}
+
+// Map establishes a mapping for [base, base+size) on the given tier. base
+// and size must be 4 KiB aligned; when huge is true they must be 2 MiB
+// aligned. Remapping an already-mapped page is an error (use Remap).
+func (pt *PageTable) Map(base, size uint64, t Tier, huge bool) error {
+	align := uint64(SmallPage)
+	if huge {
+		align = HugePage
+	}
+	if base%align != 0 || size%align != 0 {
+		return fmt.Errorf("memsim: Map [%#x,+%#x) not %d-aligned", base, size, align)
+	}
+	first, n := base>>smallShift, size>>smallShift
+	pt.grow(first + n - 1)
+	for i := first; i < first+n; i++ {
+		if pt.pages[i].Mapped {
+			return fmt.Errorf("memsim: Map would double-map page %#x", i<<smallShift)
+		}
+	}
+	for i := first; i < first+n; i++ {
+		pt.pages[i] = PageInfo{Mapped: true, Huge: huge, Tier: t}
+	}
+	return nil
+}
+
+// Unmap removes the mapping of [base, base+size). It is an error if any
+// page in the range is unmapped, or if the range splits a huge mapping.
+func (pt *PageTable) Unmap(base, size uint64) error {
+	if base%SmallPage != 0 || size%SmallPage != 0 {
+		return fmt.Errorf("memsim: Unmap [%#x,+%#x) not page-aligned", base, size)
+	}
+	first, n := base>>smallShift, size>>smallShift
+	for i := first; i < first+n; i++ {
+		pi, err := pt.lookup(i)
+		if err != nil {
+			return err
+		}
+		if pi.Huge && (i%PagesPerHuge == 0 && i+PagesPerHuge > first+n ||
+			i == first && i%PagesPerHuge != 0) {
+			return fmt.Errorf("memsim: Unmap [%#x,+%#x) splits a huge page", base, size)
+		}
+	}
+	for i := first; i < first+n; i++ {
+		pt.pages[i] = PageInfo{}
+	}
+	return nil
+}
+
+func (pt *PageTable) lookup(vpage uint64) (PageInfo, error) {
+	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
+		return PageInfo{}, fmt.Errorf("memsim: fault at unmapped page %#x", vpage<<smallShift)
+	}
+	return pt.pages[vpage], nil
+}
+
+// Translate returns the mapping of the page containing addr. It panics on
+// an unmapped address: a simulated segfault, which always indicates a bug
+// in the runtime or a kernel accessing unregistered memory.
+func (pt *PageTable) Translate(addr uint64) PageInfo {
+	vpage := addr >> smallShift
+	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
+		panic(fmt.Sprintf("memsim: simulated segfault at %#x", addr))
+	}
+	return pt.pages[vpage]
+}
+
+// TierOf returns the tier of the page containing addr and whether the page
+// is mapped at all.
+func (pt *PageTable) TierOf(addr uint64) (Tier, bool) {
+	vpage := addr >> smallShift
+	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
+		return 0, false
+	}
+	return pt.pages[vpage].Tier, true
+}
+
+// Retier moves every page of [base, base+size) to tier t, preserving the
+// page granularity (huge mappings stay huge). This models the ATMem remap
+// step: the virtual addresses are untouched, only the physical backing
+// changes (§4.4).
+func (pt *PageTable) Retier(base, size uint64, t Tier) error {
+	if base%SmallPage != 0 || size%SmallPage != 0 {
+		return fmt.Errorf("memsim: Retier [%#x,+%#x) not page-aligned", base, size)
+	}
+	first, n := base>>smallShift, size>>smallShift
+	for i := first; i < first+n; i++ {
+		if _, err := pt.lookup(i); err != nil {
+			return err
+		}
+	}
+	for i := first; i < first+n; i++ {
+		pt.pages[i].Tier = t
+	}
+	return nil
+}
+
+// Splinter converts every huge mapping intersecting [base, base+size) into
+// 4 KiB mappings (whole huge pages are split, as the kernel does when
+// migrate_pages touches part of a THP). This models the mbind engine's
+// side effect that inflates post-migration TLB misses (§2.3, Table 4).
+func (pt *PageTable) Splinter(base, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	first := base >> smallShift
+	last := (base + size - 1) >> smallShift
+	// Expand to huge-page boundaries of any huge mapping touched.
+	firstHuge := first / PagesPerHuge * PagesPerHuge
+	lastHuge := (last/PagesPerHuge + 1) * PagesPerHuge
+	for i := firstHuge; i < lastHuge && int(i) < len(pt.pages); i++ {
+		if pt.pages[i].Mapped && pt.pages[i].Huge {
+			pt.pages[i].Huge = false
+		}
+	}
+	return nil
+}
+
+// HugePages returns how many of the mapped pages in [base, base+size) are
+// part of huge mappings, and the total mapped page count.
+func (pt *PageTable) HugePages(base, size uint64) (huge, total int) {
+	first, n := base>>smallShift, (size+SmallPage-1)>>smallShift
+	for i := first; i < first+n && int(i) < len(pt.pages); i++ {
+		if !pt.pages[i].Mapped {
+			continue
+		}
+		total++
+		if pt.pages[i].Huge {
+			huge++
+		}
+	}
+	return huge, total
+}

@@ -1,0 +1,197 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapTranslate(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0x10000, 2*SmallPage, TierSlow, false); err != nil {
+		t.Fatal(err)
+	}
+	pi := pt.Translate(0x10000)
+	if pi.Tier != TierSlow || pi.Huge {
+		t.Errorf("unexpected mapping %+v", pi)
+	}
+	pi = pt.Translate(0x10000 + 2*SmallPage - 1)
+	if pi.Tier != TierSlow {
+		t.Errorf("last byte mistranslated: %+v", pi)
+	}
+}
+
+func TestTranslateUnmappedPanics(t *testing.T) {
+	pt := NewPageTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("unmapped translate should panic (simulated segfault)")
+		}
+	}()
+	pt.Translate(0x123456)
+}
+
+func TestMapAlignmentErrors(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(100, SmallPage, TierFast, false); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if err := pt.Map(0, SmallPage+1, TierFast, false); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if err := pt.Map(SmallPage, HugePage, TierFast, true); err == nil {
+		t.Error("huge mapping with small alignment accepted")
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 4*SmallPage, TierFast, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(2*SmallPage, 4*SmallPage, TierSlow, false); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	// The failed map must not have modified anything.
+	if pi := pt.Translate(3 * SmallPage); pi.Tier != TierFast {
+		t.Error("failed map mutated existing mapping")
+	}
+}
+
+func TestRetierKeepsPageSize(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 2*HugePage, TierSlow, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Retier(0, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	pi := pt.Translate(0)
+	if pi.Tier != TierFast || !pi.Huge {
+		t.Errorf("retier broke mapping: %+v", pi)
+	}
+	pi = pt.Translate(HugePage)
+	if pi.Tier != TierSlow || !pi.Huge {
+		t.Errorf("retier touched pages outside range: %+v", pi)
+	}
+}
+
+func TestSplinterBreaksWholeHugePages(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 2*HugePage, TierSlow, true); err != nil {
+		t.Fatal(err)
+	}
+	// Splinter a byte range inside the first huge page only.
+	if err := pt.Splinter(SmallPage, SmallPage); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Translate(0).Huge {
+		t.Error("first huge page should be splintered")
+	}
+	if !pt.Translate(HugePage).Huge {
+		t.Error("second huge page should be intact")
+	}
+	huge, total := pt.HugePages(0, 2*HugePage)
+	if total != 2*PagesPerHuge || huge != PagesPerHuge {
+		t.Errorf("huge=%d total=%d", huge, total)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 2*SmallPage, TierFast, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Unmap(0, 2*SmallPage); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pt.TierOf(0); ok {
+		t.Error("page still mapped after unmap")
+	}
+	if err := pt.Unmap(0, SmallPage); err == nil {
+		t.Error("unmap of unmapped range accepted")
+	}
+}
+
+// Property: Map then Translate agrees over every page of the range, and
+// TierOf is false outside it.
+func TestMapTranslateProperty(t *testing.T) {
+	check := func(pages uint8, tierBit bool) bool {
+		n := uint64(pages%16) + 1
+		pt := NewPageTable()
+		tier := TierFast
+		if tierBit {
+			tier = TierSlow
+		}
+		base := uint64(HugePage)
+		if err := pt.Map(base, n*SmallPage, tier, false); err != nil {
+			return false
+		}
+		for p := uint64(0); p < n; p++ {
+			got, ok := pt.TierOf(base + p*SmallPage)
+			if !ok || got != tier {
+				return false
+			}
+		}
+		_, okBefore := pt.TierOf(base - 1)
+		_, okAfter := pt.TierOf(base + n*SmallPage)
+		return !okBefore && !okAfter
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBHitsAfterInstall(t *testing.T) {
+	tlb := NewTLB(16, 12)
+	addr := uint64(0x5000)
+	if tlb.Lookup(addr) {
+		t.Error("cold TLB should miss")
+	}
+	if !tlb.Lookup(addr) {
+		t.Error("second lookup should hit")
+	}
+	if !tlb.Lookup(addr + 0xfff) {
+		t.Error("same page should hit")
+	}
+	if tlb.Lookup(addr + 0x1000) {
+		t.Error("next page should miss")
+	}
+	if tlb.Misses() != 2 || tlb.Lookups() != 4 {
+		t.Errorf("misses=%d lookups=%d", tlb.Misses(), tlb.Lookups())
+	}
+}
+
+func TestTLBInvalidateRange(t *testing.T) {
+	tlb := NewTLB(64, 12)
+	for p := uint64(0); p < 8; p++ {
+		tlb.Lookup(p << 12)
+	}
+	tlb.InvalidateRange(2<<12, 3<<12) // pages 2,3,4
+	for p := uint64(0); p < 8; p++ {
+		hit := tlb.Lookup(p << 12)
+		want := p < 2 || p > 4
+		if hit != want {
+			t.Errorf("page %d: hit=%v want %v", p, hit, want)
+		}
+	}
+}
+
+func TestTLBPageSizeShift(t *testing.T) {
+	tlb := NewTLB(16, hugeShift)
+	tlb.Lookup(0)
+	if !tlb.Lookup(HugePage - 1) {
+		t.Error("address within same huge page should hit")
+	}
+	if tlb.Lookup(HugePage) {
+		t.Error("next huge page should miss")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(16, 12)
+	tlb.Lookup(0x1000)
+	tlb.Flush()
+	if tlb.Lookup(0x1000) {
+		t.Error("flushed entry still hit")
+	}
+}

@@ -1,0 +1,307 @@
+// Package memsim simulates a heterogeneous memory system (HMS): two memory
+// tiers with asymmetric latency, bandwidth, capacity, and device access
+// granularity, behind a virtual address space with 4 KiB and 2 MiB pages,
+// per-thread TLBs, and a cycle/bandwidth execution cost model.
+//
+// The package substitutes for the paper's two hardware testbeds (Table 1):
+// the Intel Optane NVM-DRAM platform and the Knights Landing MCDRAM-DRAM
+// platform. Parameters are calibrated to the numbers the paper cites
+// (§2.1, [25], [31]); capacities are scaled down by the same factor as the
+// graph datasets so capacity pressure is preserved (see DESIGN.md §4–5).
+package memsim
+
+import "fmt"
+
+// Tier identifies one of the two memories of the HMS.
+type Tier uint8
+
+const (
+	// TierFast is the small high-performance memory (DRAM on the
+	// NVM-DRAM testbed, MCDRAM on the MCDRAM-DRAM testbed).
+	TierFast Tier = 0
+	// TierSlow is the large low-performance memory (Optane NVM on the
+	// NVM-DRAM testbed, DDR4 DRAM on the MCDRAM-DRAM testbed).
+	TierSlow Tier = 1
+
+	// NumTiers is the number of memory tiers in the system.
+	NumTiers = 2
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierFast:
+		return "fast"
+	case TierSlow:
+		return "slow"
+	}
+	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// Other returns the opposite tier.
+func (t Tier) Other() Tier { return 1 - t }
+
+// TierParams describes one memory device.
+type TierParams struct {
+	// Name is a human-readable device name ("DDR4", "OptaneNVM", ...).
+	Name string
+	// CapacityBytes is the usable capacity of the tier.
+	CapacityBytes uint64
+	// LoadLatencyNS is the load-to-use latency of a random 64 B read.
+	LoadLatencyNS float64
+	// StoreLatencyNS is the effective latency charged per store miss
+	// (stores are mostly buffered, so this is small).
+	StoreLatencyNS float64
+	// ReadBWGBs and WriteBWGBs are device-level aggregate bandwidths in
+	// GB/s (1e9 bytes per second).
+	ReadBWGBs  float64
+	WriteBWGBs float64
+	// AccessGrainBytes is the internal device transfer granularity. A
+	// random 64 B read occupies this many bytes of device bandwidth
+	// (256 B for Optane media, 64 B for DRAM). This amplification is
+	// what makes random access on NVM so much worse than its headline
+	// bandwidth ratio suggests and produces the up-to-10x slowdowns of
+	// the paper's Figure 1a.
+	AccessGrainBytes int
+}
+
+// SystemParams describes a full HMS testbed.
+type SystemParams struct {
+	// Name identifies the testbed ("nvm-dram", "mcdram-dram").
+	Name string
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+	// Threads is the number of hardware threads the workload uses.
+	Threads int
+	// LLCBytes, LLCWays, LineBytes parameterize the shared LLC model
+	// (partitioned evenly across threads).
+	LLCBytes  int
+	LLCWays   int
+	LineBytes int
+	// L1Bytes sizes the per-thread first-level cache filter
+	// (direct-mapped); accesses that hit it cost L1HitCycles and never
+	// reach the LLC model.
+	L1Bytes     int
+	L1HitCycles float64
+	// LLCHitNS is the latency of an LLC hit (after an L1 miss).
+	LLCHitNS float64
+	// MLP is the per-hardware-thread memory-level parallelism: the
+	// average number of outstanding misses that overlap, dividing the
+	// exposed miss latency.
+	MLP float64
+	// GangSize is how many hardware threads of the real testbed each
+	// simulated worker stands for (DESIGN.md §4). All of a worker's
+	// accumulated cycles — compute, cache hits, exposed miss latency —
+	// are divided by GangSize when converting to time, modelling the
+	// gang executing its partition in parallel. Threads x GangSize is
+	// the real machine's thread count.
+	GangSize int
+	// PrefetchFactor scales the exposed latency of a sequential
+	// (next-line) demand miss: hardware prefetchers hide most of it.
+	PrefetchFactor float64
+	// PrefetchDemandInterval is the fraction of sequential-stream line
+	// fetches that still surface as demand LLC misses (1 in every N;
+	// the rest arrive early and behave as hits). Prefetch-covered
+	// lines consume memory bandwidth but are invisible to PEBS demand
+	// -miss sampling — which is why streamed arrays profile as cold in
+	// the paper despite their traffic. Must be >= 1; 1 disables
+	// prefetching.
+	PrefetchDemandInterval int
+	// PageWalkNS is the cost of a TLB miss (page table walk).
+	PageWalkNS float64
+	// TLB4KEntries and TLB2MEntries size the per-thread TLBs for small
+	// and huge mappings respectively.
+	TLB4KEntries int
+	TLB2MEntries int
+	// Tiers holds the two memories, indexed by Tier.
+	Tiers [NumTiers]TierParams
+	// SharedChannels is true when both tiers share the same memory
+	// channels (Optane DIMMs share channels with DRAM, §9), so their
+	// traffic serializes; false when channels are independent (KNL).
+	SharedChannels bool
+	// DefaultTier is where unregistered allocations and the baseline
+	// placement go (the large-capacity memory in both testbeds' baseline
+	// configurations is chosen per experiment, so this is just the
+	// initial policy default).
+	DefaultTier Tier
+
+	// Migration cost parameters (§4.4, §7.3).
+
+	// CopySingleThreadGBs bounds a single-threaded memcpy (what mbind's
+	// kernel path achieves per page).
+	CopySingleThreadGBs float64
+	// CopyPerThreadGBs is the per-thread bandwidth of the parallel
+	// application-level copy; aggregate is capped by device bandwidths.
+	CopyPerThreadGBs float64
+	// SyscallNSPerPage is mbind's per-4KiB-page bookkeeping cost
+	// (syscall entry, rmap walk, page (un)mapping).
+	SyscallNSPerPage float64
+	// TLBShootdownNS is the cost of one inter-processor TLB shootdown.
+	TLBShootdownNS float64
+	// RemapNSPerRegion is the fixed cost of remapping one contiguous
+	// region in the ATMem migration path.
+	RemapNSPerRegion float64
+}
+
+// Validate checks the parameter set for obvious inconsistencies.
+func (p *SystemParams) Validate() error {
+	if p.ClockGHz <= 0 {
+		return fmt.Errorf("memsim: %s: ClockGHz must be positive", p.Name)
+	}
+	if p.Threads <= 0 {
+		return fmt.Errorf("memsim: %s: Threads must be positive", p.Name)
+	}
+	if p.LineBytes <= 0 || p.LineBytes&(p.LineBytes-1) != 0 {
+		return fmt.Errorf("memsim: %s: LineBytes must be a positive power of two", p.Name)
+	}
+	if p.L1Bytes < p.LineBytes {
+		return fmt.Errorf("memsim: %s: L1Bytes must hold at least one line", p.Name)
+	}
+	if p.MLP <= 0 {
+		return fmt.Errorf("memsim: %s: MLP must be positive", p.Name)
+	}
+	if p.GangSize <= 0 {
+		return fmt.Errorf("memsim: %s: GangSize must be positive", p.Name)
+	}
+	if p.PrefetchFactor <= 0 || p.PrefetchFactor > 1 {
+		return fmt.Errorf("memsim: %s: PrefetchFactor must be in (0,1]", p.Name)
+	}
+	if p.PrefetchDemandInterval < 1 {
+		return fmt.Errorf("memsim: %s: PrefetchDemandInterval must be at least 1", p.Name)
+	}
+	for i, t := range p.Tiers {
+		if t.CapacityBytes == 0 {
+			return fmt.Errorf("memsim: %s: tier %d has zero capacity", p.Name, i)
+		}
+		if t.ReadBWGBs <= 0 || t.WriteBWGBs <= 0 {
+			return fmt.Errorf("memsim: %s: tier %d has non-positive bandwidth", p.Name, i)
+		}
+		if t.LoadLatencyNS <= 0 {
+			return fmt.Errorf("memsim: %s: tier %d has non-positive latency", p.Name, i)
+		}
+		if t.AccessGrainBytes < p.LineBytes {
+			return fmt.Errorf("memsim: %s: tier %d grain smaller than a line", p.Name, i)
+		}
+	}
+	return nil
+}
+
+const (
+	// SmallPage is the base page size.
+	SmallPage = 4 << 10
+	// HugePage is the huge page size. The real testbeds back multi-GB
+	// arrays with 2 MiB transparent huge pages; datasets here are
+	// scaled ~1000x, so the huge page scales to 64 KiB to keep the
+	// pages-per-array and TLB-reach ratios (DESIGN.md) -- this is what
+	// lets the mbind engine's huge-page splintering reproduce the
+	// post-migration TLB blow-up of the paper's Table 4.
+	HugePage = 64 << 10
+
+	// KiB, MiB, GiB are byte-size helpers.
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// NVMDRAMParams returns the scaled NVM-DRAM testbed: 2nd-gen Xeon Scalable
+// with Optane DC NVM (Table 1). DRAM is the fast tier; Optane is the slow,
+// large tier. Capacities are scaled ~1000x with the datasets.
+func NVMDRAMParams() SystemParams {
+	return SystemParams{
+		Name:                   "nvm-dram",
+		ClockGHz:               2.4,
+		Threads:                8, // each worker stands for 6 of the 48 HW threads
+		LLCBytes:               512 * KiB,
+		LLCWays:                8,
+		LineBytes:              64,
+		L1Bytes:                8 * KiB,
+		L1HitCycles:            0.5,
+		LLCHitNS:               5,
+		MLP:                    5,
+		GangSize:               6, // 8 workers x 6 = 48 HW threads
+		PrefetchFactor:         0.18,
+		PrefetchDemandInterval: 8,
+		PageWalkNS:             60,
+		TLB4KEntries:           64,
+		TLB2MEntries:           16,
+		Tiers: [NumTiers]TierParams{
+			TierFast: {
+				Name:             "DDR4-DRAM",
+				CapacityBytes:    96 * MiB, // scaled from 96 GB
+				LoadLatencyNS:    81,
+				StoreLatencyNS:   12,
+				ReadBWGBs:        104,
+				WriteBWGBs:       80,
+				AccessGrainBytes: 64,
+			},
+			TierSlow: {
+				Name:             "Optane-NVM",
+				CapacityBytes:    768 * MiB, // scaled from 768 GB
+				LoadLatencyNS:    250,       // ~3x DRAM [25]
+				StoreLatencyNS:   90,
+				ReadBWGBs:        39, // [25]
+				WriteBWGBs:       13,
+				AccessGrainBytes: 256, // Optane media block
+			},
+		},
+		SharedChannels:      true, // Optane shares channels with DRAM (§9)
+		DefaultTier:         TierSlow,
+		CopySingleThreadGBs: 8,
+		CopyPerThreadGBs:    3,
+		SyscallNSPerPage:    300,
+		TLBShootdownNS:      4000,
+		RemapNSPerRegion:    3000,
+	}
+}
+
+// MCDRAMDRAMParams returns the scaled MCDRAM-DRAM testbed: Knights Landing
+// with 16 GB MCDRAM in flat mode next to 96 GB DDR4 (Table 1). MCDRAM is
+// the fast tier (4.4x bandwidth, slightly higher latency); DDR4 is the
+// large tier. MCDRAM capacity is scaled so that the three largest datasets
+// do not fit, as on the real machine (§7.2).
+func MCDRAMDRAMParams() SystemParams {
+	return SystemParams{
+		Name:                   "mcdram-dram",
+		ClockGHz:               1.1,
+		Threads:                8, // each worker stands for 32 of the 256 HW threads
+		LLCBytes:               256 * KiB,
+		LLCWays:                8,
+		LineBytes:              64,
+		L1Bytes:                8 * KiB,
+		L1HitCycles:            1,
+		LLCHitNS:               8,
+		MLP:                    2,
+		GangSize:               32, // 8 workers x 32 = 256 HW threads
+		PrefetchFactor:         0.22,
+		PrefetchDemandInterval: 8,
+		PageWalkNS:             100,
+		TLB4KEntries:           192,
+		TLB2MEntries:           16,
+		Tiers: [NumTiers]TierParams{
+			TierFast: {
+				Name:             "MCDRAM",
+				CapacityBytes:    8 * MiB, // scaled from 16 GB
+				LoadLatencyNS:    155,     // MCDRAM latency > DDR4 on KNL
+				StoreLatencyNS:   16,
+				ReadBWGBs:        400, // [31]
+				WriteBWGBs:       200,
+				AccessGrainBytes: 64,
+			},
+			TierSlow: {
+				Name:             "DDR4-DRAM",
+				CapacityBytes:    256 * MiB, // scaled from 96 GB
+				LoadLatencyNS:    130,
+				StoreLatencyNS:   14,
+				ReadBWGBs:        90, // [31]
+				WriteBWGBs:       55,
+				AccessGrainBytes: 64,
+			},
+		},
+		SharedChannels:      false, // independent channels on KNL (§9)
+		DefaultTier:         TierSlow,
+		CopySingleThreadGBs: 4, // KNL single-thread copy is weak
+		CopyPerThreadGBs:    3,
+		SyscallNSPerPage:    800, // slow cores pay more per syscall
+		TLBShootdownNS:      9000,
+		RemapNSPerRegion:    6000,
+	}
+}

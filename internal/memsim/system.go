@@ -1,0 +1,288 @@
+package memsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// System is one simulated heterogeneous memory machine: a virtual address
+// space backed by two memory tiers. All mutating operations are
+// goroutine-safe; the hot read path used by accessors takes no locks and
+// relies on the runtime's phase structure (no allocation or migration
+// happens while kernels run).
+type System struct {
+	P SystemParams
+
+	mu     sync.Mutex
+	pt     *PageTable
+	nextVA uint64
+	used   [NumTiers]uint64
+}
+
+// NewSystem builds a System from params. It panics if params are invalid,
+// since every preset in this module must validate.
+func NewSystem(p SystemParams) *System {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &System{
+		P:      p,
+		pt:     NewPageTable(),
+		nextVA: HugePage, // keep address 0 unmapped
+	}
+}
+
+// PageTable exposes the system page table to migration engines.
+func (s *System) PageTable() *PageTable { return s.pt }
+
+// RoundUp rounds size up to a multiple of align (a power of two).
+func RoundUp(size, align uint64) uint64 {
+	return (size + align - 1) &^ (align - 1)
+}
+
+// Alloc reserves a virtual range of at least size bytes backed by tier t
+// and returns its base address. Allocations of at least one huge page are
+// huge-page backed (the transparent-huge-page behaviour large graph
+// allocations get on the real testbeds); smaller ones use 4 KiB pages.
+// Alloc fails when the tier lacks capacity.
+func (s *System) Alloc(size uint64, t Tier) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("memsim: zero-size allocation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	huge := size >= HugePage
+	align := uint64(SmallPage)
+	if huge {
+		align = HugePage
+	}
+	mapped := RoundUp(size, align)
+	if s.used[t]+mapped > s.P.Tiers[t].CapacityBytes {
+		return 0, fmt.Errorf("memsim: tier %s out of capacity: used %d + %d > %d",
+			t, s.used[t], mapped, s.P.Tiers[t].CapacityBytes)
+	}
+	base := RoundUp(s.nextVA, HugePage) // huge-align every object's base
+	if err := s.pt.Map(base, mapped, t, huge); err != nil {
+		return 0, err
+	}
+	s.nextVA = base + mapped
+	s.used[t] += mapped
+	return base, nil
+}
+
+// AllocPrefer reserves a virtual range backed by the fast tier for as
+// many leading pages as its remaining capacity allows, spilling the rest
+// to the slow tier — the page-granular behaviour of a preferred NUMA
+// policy (`numactl -p`, the paper's MCDRAM-p reference): capacity is
+// consumed in allocation order with no regard for criticality. The range
+// is 4 KiB-mapped when split across tiers (a preferred-policy allocation
+// cannot promise huge-page backing across the spill point).
+func (s *System) AllocPrefer(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("memsim: zero-size allocation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := RoundUp(s.nextVA, HugePage)
+	huge := size >= HugePage
+
+	// Whole-object placement (huge pages preserved) when a tier has
+	// room for the full aligned size.
+	tryWhole := func(t Tier) (bool, error) {
+		align := uint64(SmallPage)
+		if huge {
+			align = HugePage
+		}
+		aligned := RoundUp(size, align)
+		if s.used[t]+aligned > s.P.Tiers[t].CapacityBytes {
+			return false, nil
+		}
+		if err := s.pt.Map(base, aligned, t, huge); err != nil {
+			return false, err
+		}
+		s.nextVA = base + aligned
+		s.used[t] += aligned
+		return true, nil
+	}
+	if ok, err := tryWhole(TierFast); err != nil || ok {
+		return base, err
+	}
+
+	// Page-granular spill: leading pages on the fast tier until it is
+	// full, the rest on the slow tier (both 4 KiB-mapped; a preferred
+	// policy cannot promise huge pages across the spill point).
+	mapped := RoundUp(size, SmallPage)
+	freeFast := (s.P.Tiers[TierFast].CapacityBytes - s.used[TierFast]) &^ (SmallPage - 1)
+	fastPart := mapped
+	if fastPart > freeFast {
+		fastPart = freeFast
+	}
+	slowPart := mapped - fastPart
+	if fastPart == 0 {
+		if ok, err := tryWhole(TierSlow); err != nil || ok {
+			return base, err
+		}
+	}
+	if s.used[TierSlow]+slowPart > s.P.Tiers[TierSlow].CapacityBytes {
+		return 0, fmt.Errorf("memsim: tier %s out of capacity for preferred spill of %d bytes",
+			TierSlow, slowPart)
+	}
+	if fastPart > 0 {
+		if err := s.pt.Map(base, fastPart, TierFast, false); err != nil {
+			return 0, err
+		}
+	}
+	if slowPart > 0 {
+		if err := s.pt.Map(base+fastPart, slowPart, TierSlow, false); err != nil {
+			return 0, err
+		}
+	}
+	s.nextVA = base + mapped
+	s.used[TierFast] += fastPart
+	s.used[TierSlow] += slowPart
+	return base, nil
+}
+
+// Free releases the mapping of the object at [base, base+size). size must
+// be the original requested size.
+func (s *System) Free(base, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	align := uint64(SmallPage)
+	if size >= HugePage {
+		align = HugePage
+	}
+	mapped := RoundUp(size, align)
+	// Account per-page so partially migrated objects are handled.
+	first, n := base>>smallShift, mapped>>smallShift
+	for i := first; i < first+n; i++ {
+		pi, err := s.pt.lookup(i)
+		if err != nil {
+			return err
+		}
+		s.used[pi.Tier] -= SmallPage
+	}
+	for i := first; i < first+n; i++ {
+		s.pt.pages[i] = PageInfo{}
+	}
+	return nil
+}
+
+// Retier changes the backing tier of the page-aligned range
+// [base, base+size), preserving page sizes and updating capacity
+// accounting. It fails (without changes) when the destination tier lacks
+// capacity.
+func (s *System) Retier(base, size uint64, t Tier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retierLocked(base, size, t)
+}
+
+func (s *System) retierLocked(base, size uint64, t Tier) error {
+	if base%SmallPage != 0 || size%SmallPage != 0 {
+		return fmt.Errorf("memsim: Retier [%#x,+%#x) not page-aligned", base, size)
+	}
+	first, n := base>>smallShift, size>>smallShift
+	var moving uint64
+	for i := first; i < first+n; i++ {
+		pi, err := s.pt.lookup(i)
+		if err != nil {
+			return err
+		}
+		if pi.Tier != t {
+			moving += SmallPage
+		}
+	}
+	if s.used[t]+moving > s.P.Tiers[t].CapacityBytes {
+		return fmt.Errorf("memsim: tier %s out of capacity for retier of %d bytes", t, moving)
+	}
+	for i := first; i < first+n; i++ {
+		if s.pt.pages[i].Tier != t {
+			s.used[s.pt.pages[i].Tier] -= SmallPage
+			s.used[t] += SmallPage
+			s.pt.pages[i].Tier = t
+		}
+	}
+	return nil
+}
+
+// Splinter breaks huge mappings intersecting [base, base+size) into 4 KiB
+// mappings (see PageTable.Splinter).
+func (s *System) Splinter(base, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pt.Splinter(base, size)
+}
+
+// Reserve charges size bytes against tier t without mapping anything —
+// used for transient staging buffers during migration. Release with
+// Unreserve.
+func (s *System) Reserve(size uint64, t Tier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used[t]+size > s.P.Tiers[t].CapacityBytes {
+		return fmt.Errorf("memsim: tier %s out of capacity for %d-byte reservation", t, size)
+	}
+	s.used[t] += size
+	return nil
+}
+
+// Unreserve returns a Reserve'd charge.
+func (s *System) Unreserve(size uint64, t Tier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used[t] < size {
+		panic("memsim: Unreserve below zero")
+	}
+	s.used[t] -= size
+}
+
+// Used returns the bytes currently mapped or reserved on tier t.
+func (s *System) Used(t Tier) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used[t]
+}
+
+// Free capacity remaining on tier t.
+func (s *System) FreeCapacity(t Tier) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.P.Tiers[t].CapacityBytes - s.used[t]
+}
+
+// TierOf returns the tier currently backing addr.
+func (s *System) TierOf(addr uint64) (Tier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pt.TierOf(addr)
+}
+
+// BytesOnTier reports how many bytes of the page-spanning range
+// [base, base+size) are on each tier.
+func (s *System) BytesOnTier(base, size uint64) [NumTiers]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [NumTiers]uint64
+	if size == 0 {
+		return out
+	}
+	first := base >> smallShift
+	last := (base + size - 1) >> smallShift
+	for i := first; i <= last; i++ {
+		pi, err := s.pt.lookup(i)
+		if err != nil {
+			continue
+		}
+		lo := i << smallShift
+		hi := lo + SmallPage
+		if lo < base {
+			lo = base
+		}
+		if hi > base+size {
+			hi = base + size
+		}
+		out[pi.Tier] += hi - lo
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package memsim
+
+import (
+	"testing"
+)
+
+func testParams() SystemParams {
+	p := NVMDRAMParams()
+	p.Tiers[TierFast].CapacityBytes = 4 * MiB
+	p.Tiers[TierSlow].CapacityBytes = 32 * MiB
+	return p
+}
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(3*SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base%HugePage != 0 {
+		t.Errorf("base %#x not huge-aligned", base)
+	}
+	if tier, ok := s.TierOf(base); !ok || tier != TierSlow {
+		t.Errorf("TierOf = %v,%v", tier, ok)
+	}
+	if used := s.Used(TierSlow); used != 3*SmallPage {
+		t.Errorf("used = %d", used)
+	}
+}
+
+func TestAllocHugeBacking(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(HugePage+1, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.PageTable().Translate(base).Huge {
+		t.Error("large allocation should be huge-backed")
+	}
+	small, err := s.Alloc(SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PageTable().Translate(small).Huge {
+		t.Error("small allocation should use base pages")
+	}
+}
+
+func TestAllocCapacityEnforced(t *testing.T) {
+	s := NewSystem(testParams())
+	if _, err := s.Alloc(5*MiB, TierFast); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+	if _, err := s.Alloc(3*MiB, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(2*MiB, TierFast); err == nil {
+		t.Error("cumulative over-capacity allocation accepted")
+	}
+}
+
+func TestFreeReleasesCapacity(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(2*MiB, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(base, 2*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if used := s.Used(TierFast); used != 0 {
+		t.Errorf("used = %d after free", used)
+	}
+	if _, ok := s.TierOf(base); ok {
+		t.Error("freed range still mapped")
+	}
+}
+
+func TestFreePartiallyMigratedObject(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(4*HugePage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(base, 4*HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used(TierFast) != 0 || s.Used(TierSlow) != 0 {
+		t.Errorf("capacity accounting broken: fast=%d slow=%d",
+			s.Used(TierFast), s.Used(TierSlow))
+	}
+}
+
+func TestRetierAccounting(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(HugePage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used(TierFast) != HugePage || s.Used(TierSlow) != 0 {
+		t.Errorf("fast=%d slow=%d", s.Used(TierFast), s.Used(TierSlow))
+	}
+	// Retier is idempotent in accounting.
+	if err := s.Retier(base, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used(TierFast) != HugePage {
+		t.Error("double retier double-counted")
+	}
+}
+
+func TestRetierCapacityFailureLeavesStateIntact(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(8*MiB, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, 8*MiB, TierFast); err == nil {
+		t.Fatal("retier beyond fast capacity accepted")
+	}
+	if tier, _ := s.TierOf(base); tier != TierSlow {
+		t.Error("failed retier moved pages")
+	}
+	if s.Used(TierFast) != 0 {
+		t.Error("failed retier charged capacity")
+	}
+}
+
+func TestReserveUnreserve(t *testing.T) {
+	s := NewSystem(testParams())
+	if err := s.Reserve(MiB, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeCapacity(TierFast) != 3*MiB {
+		t.Errorf("free capacity %d", s.FreeCapacity(TierFast))
+	}
+	s.Unreserve(MiB, TierFast)
+	if s.FreeCapacity(TierFast) != 4*MiB {
+		t.Errorf("free capacity %d after unreserve", s.FreeCapacity(TierFast))
+	}
+	if err := s.Reserve(5*MiB, TierFast); err == nil {
+		t.Error("over-capacity reserve accepted")
+	}
+}
+
+func TestBytesOnTier(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(4*SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, 2*SmallPage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	on := s.BytesOnTier(base, 4*SmallPage)
+	if on[TierFast] != 2*SmallPage || on[TierSlow] != 2*SmallPage {
+		t.Errorf("split accounting wrong: %v", on)
+	}
+	// Sub-page range accounting clips to the byte range.
+	on = s.BytesOnTier(base+100, 200)
+	if on[TierFast] != 200 || on[TierSlow] != 0 {
+		t.Errorf("sub-page accounting wrong: %v", on)
+	}
+}
+
+func TestAllocPreferFillsFastFirst(t *testing.T) {
+	p := testParams()
+	p.Tiers[TierFast].CapacityBytes = 1 * MiB
+	s := NewSystem(p)
+	// Fits wholly: goes fast, huge-backed.
+	b1, err := s.AllocPrefer(512 * KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier, _ := s.TierOf(b1); tier != TierFast {
+		t.Error("first allocation should land on fast memory")
+	}
+	// Does not fit wholly: leading pages fast, rest slow.
+	b2, err := s.AllocPrefer(1 * MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := s.BytesOnTier(b2, 1*MiB)
+	if on[TierFast] == 0 || on[TierSlow] == 0 {
+		t.Errorf("spill allocation not split: %v", on)
+	}
+	if on[TierFast]+on[TierSlow] != 1*MiB {
+		t.Errorf("split does not cover object: %v", on)
+	}
+	// Fast is now exhausted: whole allocation goes slow, huge-backed.
+	b3, err := s.AllocPrefer(HugePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier, _ := s.TierOf(b3); tier != TierSlow {
+		t.Error("post-exhaustion allocation should land on slow memory")
+	}
+	if !s.PageTable().Translate(b3).Huge {
+		t.Error("whole-slow preferred allocation should keep huge pages")
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	s := NewSystem(testParams())
+	if _, err := s.Alloc(0, TierFast); err == nil {
+		t.Error("zero-size Alloc accepted")
+	}
+	if _, err := s.AllocPrefer(0); err == nil {
+		t.Error("zero-size AllocPrefer accepted")
+	}
+}
+
+func TestValidatePresets(t *testing.T) {
+	for _, p := range []SystemParams{NVMDRAMParams(), MCDRAMDRAMParams()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*SystemParams){
+		func(p *SystemParams) { p.ClockGHz = 0 },
+		func(p *SystemParams) { p.Threads = 0 },
+		func(p *SystemParams) { p.LineBytes = 48 },
+		func(p *SystemParams) { p.L1Bytes = 0 },
+		func(p *SystemParams) { p.MLP = 0 },
+		func(p *SystemParams) { p.GangSize = 0 },
+		func(p *SystemParams) { p.PrefetchFactor = 0 },
+		func(p *SystemParams) { p.PrefetchDemandInterval = 0 },
+		func(p *SystemParams) { p.Tiers[0].CapacityBytes = 0 },
+		func(p *SystemParams) { p.Tiers[1].ReadBWGBs = 0 },
+		func(p *SystemParams) { p.Tiers[0].LoadLatencyNS = 0 },
+		func(p *SystemParams) { p.Tiers[1].AccessGrainBytes = 1 },
+	}
+	for i, mut := range mutations {
+		p := NVMDRAMParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierFast.String() != "fast" || TierSlow.String() != "slow" {
+		t.Error("unexpected tier names")
+	}
+	if TierFast.Other() != TierSlow || TierSlow.Other() != TierFast {
+		t.Error("Other() broken")
+	}
+}

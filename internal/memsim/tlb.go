@@ -1,0 +1,98 @@
+package memsim
+
+// TLB models one translation lookaside buffer as a set-associative array
+// of page-number tags with LRU replacement per set. Each simulated thread
+// owns two TLBs, one for 4 KiB and one for 2 MiB mappings, mirroring real
+// split dTLBs. The reach difference between the two is what turns the
+// mbind engine's huge-page splintering into the post-migration TLB-miss
+// gap of the paper's Table 4.
+type TLB struct {
+	setMask uint64
+	ways    int
+	tags    []uint64
+	stamps  []uint64
+	clock   uint64
+	shift   uint // page shift: 12 for 4 KiB, 21 for 2 MiB
+	misses  uint64
+	lookups uint64
+}
+
+// NewTLB builds a TLB with the given number of entries (rounded down to a
+// power of two, minimum one set) covering pages of size 1<<pageShift.
+func NewTLB(entries int, pageShift uint) *TLB {
+	const ways = 4
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	return &TLB{
+		setMask: uint64(sets - 1),
+		ways:    ways,
+		tags:    make([]uint64, sets*ways),
+		stamps:  make([]uint64, sets*ways),
+		shift:   pageShift,
+	}
+}
+
+// Lookup translates addr, returning true on a TLB hit. On a miss the
+// translation is installed (the page walk is charged by the caller).
+func (t *TLB) Lookup(addr uint64) bool {
+	t.lookups++
+	vpn := addr >> t.shift
+	tag := vpn + 1
+	set := int(vpn&t.setMask) * t.ways
+	t.clock++
+	victim := set
+	oldest := ^uint64(0)
+	for i := set; i < set+t.ways; i++ {
+		if t.tags[i] == tag {
+			t.stamps[i] = t.clock
+			return true
+		}
+		if t.stamps[i] < oldest {
+			oldest = t.stamps[i]
+			victim = i
+		}
+	}
+	t.tags[victim] = tag
+	t.stamps[victim] = t.clock
+	t.misses++
+	return false
+}
+
+// InvalidateRange drops translations for pages intersecting
+// [base, base+size): a TLB shootdown over that range.
+func (t *TLB) InvalidateRange(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	lo := base >> t.shift
+	hi := (base + size - 1) >> t.shift
+	for i, tag := range t.tags {
+		if tag == 0 {
+			continue
+		}
+		vpn := tag - 1
+		if vpn >= lo && vpn <= hi {
+			t.tags[i] = 0
+			t.stamps[i] = 0
+		}
+	}
+}
+
+// Flush empties the TLB without resetting counters.
+func (t *TLB) Flush() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.stamps[i] = 0
+	}
+}
+
+// Misses returns the miss count since construction.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Lookups returns the lookup count since construction.
+func (t *TLB) Lookups() uint64 { return t.lookups }

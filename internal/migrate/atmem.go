@@ -1,0 +1,127 @@
+package migrate
+
+import (
+	"fmt"
+
+	"atmem/internal/memsim"
+)
+
+// ATMemEngine is the multi-stage multi-threaded application-level
+// migration of §4.4 (Figure 4).
+type ATMemEngine struct {
+	// Threads is the copy concurrency; 0 means use the system's thread
+	// count.
+	Threads int
+	// StagingBytes caps the staging buffer; regions larger than this
+	// are migrated in staging-sized slices so the mechanism works even
+	// when the target tier is nearly full. 0 means 8 MiB.
+	StagingBytes uint64
+}
+
+// Name implements Engine.
+func (e *ATMemEngine) Name() string { return "atmem" }
+
+// Migrate implements Engine. For each region it stages the live values on
+// the target memory with a parallel copy, remaps the region's virtual
+// pages to fresh target-memory pages (splitting only the boundary huge
+// pages when the region does not cover them fully — interior huge
+// mappings survive, which preserves TLB reach), then copies the staged
+// values back in parallel. Data crosses the inter-memory link once and
+// moves once more within the target memory, exactly the two transfers the
+// paper describes.
+func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+	p := &sys.P
+	threads := e.Threads
+	if threads <= 0 {
+		threads = p.Threads
+	}
+	staging := e.StagingBytes
+	if staging == 0 {
+		staging = 8 << 20
+	}
+	staging = memsim.RoundUp(staging, memsim.SmallPage)
+
+	st := Stats{Engine: e.Name()}
+	for _, raw := range regions {
+		r := alignRegion(raw)
+		st.Regions++
+		st.BytesRequested += r.Size
+		moving := movingBytes(sys, r, target)
+		if moving == 0 {
+			continue
+		}
+		src := target.Other()
+
+		// Boundary huge pages not fully covered by the region must be
+		// split before a partial remap is possible; interior huge
+		// mappings are remapped wholesale and stay huge.
+		split, err := splitBoundaryHugePages(sys, r)
+		if err != nil {
+			return st, err
+		}
+		st.HugePagesSplit += split
+
+		for off := uint64(0); off < r.Size; off += staging {
+			slice := staging
+			if off+slice > r.Size {
+				slice = r.Size - off
+			}
+			if err := sys.Reserve(slice, target); err != nil {
+				return st, fmt.Errorf("migrate/atmem: staging buffer: %w", err)
+			}
+			// Stage 1: parallel copy source region -> staging buffer
+			// (staging lives on the target memory, Figure 4a).
+			st.Seconds += copySeconds(p, slice, src, target, threads)
+			// Stage 2: remap the virtual pages onto empty target
+			// pages (no data moves, Figure 4b).
+			if err := sys.Retier(r.Base+off, slice, target); err != nil {
+				sys.Unreserve(slice, target)
+				return st, fmt.Errorf("migrate/atmem: remap: %w", err)
+			}
+			st.Seconds += p.RemapNSPerRegion * 1e-9
+			// One shootdown per remapped slice: every thread's stale
+			// translation of the region must be dropped once.
+			st.Seconds += p.TLBShootdownNS * 1e-9
+			st.TLBShootdowns++
+			// Stage 3: parallel copy staging buffer -> remapped
+			// region, entirely within the target memory (Figure 4c).
+			st.Seconds += copySeconds(p, slice, target, target, threads)
+			sys.Unreserve(slice, target)
+		}
+		st.BytesMoved += moving
+		st.PagesMoved += int(moving / memsim.SmallPage)
+	}
+	return st, nil
+}
+
+// splitBoundaryHugePages splinters the huge mappings that the region only
+// partially covers — at most one at each end — returning how many were
+// split. When both boundaries fall inside the same huge page it is split
+// once.
+func splitBoundaryHugePages(sys *memsim.System, r Region) (int, error) {
+	pt := sys.PageTable()
+	split := 0
+	splitAt := func(addr uint64) error {
+		page := addr &^ (memsim.HugePage - 1)
+		if huge, _ := pt.HugePages(page, memsim.HugePage); huge == 0 {
+			return nil
+		}
+		if err := sys.Splinter(page, memsim.HugePage); err != nil {
+			return err
+		}
+		split++
+		return nil
+	}
+	end := r.Base + r.Size
+	if r.Base%memsim.HugePage != 0 {
+		if err := splitAt(r.Base); err != nil {
+			return split, err
+		}
+	}
+	if end%memsim.HugePage != 0 {
+		if err := splitAt(end - 1); err != nil {
+			return split, err
+		}
+	}
+	return split, nil
+}

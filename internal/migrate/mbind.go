@@ -1,0 +1,94 @@
+package migrate
+
+import (
+	"fmt"
+
+	"atmem/internal/memsim"
+)
+
+// MbindEngine models the system NUMA migration service (`mbind` +
+// `migrate_pages`) that the paper uses as the migration baseline (§2.3,
+// §7.3): a single-threaded, blocking, page-by-page mechanism. Every 4 KiB
+// page pays kernel bookkeeping (rmap walk, page (un)mapping, refcount
+// dance), the copy runs at single-thread bandwidth, transparent huge
+// pages touched by the move are splintered, and each batch of unmapped
+// pages triggers an inter-processor TLB shootdown.
+type MbindEngine struct {
+	// ShootdownBatchPages is how many pages the kernel unmaps between
+	// TLB shootdown IPIs. 0 means 512 (one PMD's worth).
+	ShootdownBatchPages int
+}
+
+// Name implements Engine.
+func (e *MbindEngine) Name() string { return "mbind" }
+
+// Migrate implements Engine.
+func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+	p := &sys.P
+	batch := e.ShootdownBatchPages
+	if batch <= 0 {
+		batch = 512
+	}
+	st := Stats{Engine: e.Name()}
+	for _, raw := range regions {
+		r := alignRegion(raw)
+		st.Regions++
+		st.BytesRequested += r.Size
+		moving := movingBytes(sys, r, target)
+		if moving == 0 {
+			continue
+		}
+		src := target.Other()
+
+		// The kernel path cannot migrate a THP as a unit here: every
+		// huge mapping the range touches is split first.
+		hugeBefore, _ := sys.PageTable().HugePages(r.Base, r.Size)
+		if err := sys.Splinter(r.Base, r.Size); err != nil {
+			return st, err
+		}
+		st.HugePagesSplit += hugeBefore / memsim.PagesPerHuge
+
+		if err := sys.Retier(r.Base, r.Size, target); err != nil {
+			return st, fmt.Errorf("migrate/mbind: %w", err)
+		}
+
+		pages := int(moving / memsim.SmallPage)
+		st.PagesMoved += pages
+		st.BytesMoved += moving
+
+		// Per-page syscall/bookkeeping cost, single-threaded copy.
+		st.Seconds += float64(pages) * p.SyscallNSPerPage * 1e-9
+		st.Seconds += copySecondsSingle(p, moving, src, target)
+
+		shootdowns := (pages + batch - 1) / batch
+		st.TLBShootdowns += shootdowns
+		st.Seconds += float64(shootdowns) * p.TLBShootdownNS * 1e-9
+	}
+	return st, nil
+}
+
+// copySecondsSingle is the single-threaded kernel copy: one thread's
+// memcpy bandwidth, further bounded by the devices (and channel sharing).
+func copySecondsSingle(p *memsim.SystemParams, bytes uint64, src, dst memsim.Tier) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	b := float64(bytes)
+	single := p.CopySingleThreadGBs * 1e9
+	if p.SharedChannels && src != dst {
+		bus := b/(p.Tiers[src].ReadBWGBs*1e9) + b/(p.Tiers[dst].WriteBWGBs*1e9)
+		th := b / single
+		if th > bus {
+			return th
+		}
+		return bus
+	}
+	bw := single
+	if r := p.Tiers[src].ReadBWGBs * 1e9; r < bw {
+		bw = r
+	}
+	if w := p.Tiers[dst].WriteBWGBs * 1e9; w < bw {
+		bw = w
+	}
+	return b / bw
+}

@@ -1,0 +1,115 @@
+// Package migrate implements the two data-migration mechanisms the paper
+// compares (§4.4, §7.3):
+//
+//   - the ATMem multi-stage multi-threaded engine: copy the source region
+//     into a staging buffer on the target memory with many threads, remap
+//     the virtual pages of the region onto (empty) target-memory pages,
+//     then copy the staged values back — two copies, both at device
+//     bandwidth, with virtual addresses intact and huge-page mappings
+//     preserved (Figure 4);
+//
+//   - an mbind-style system-service baseline: single-threaded, page-by-
+//     page, paying per-page syscall/bookkeeping overhead and TLB
+//     shootdowns, and splintering transparent huge pages — the behaviour
+//     that inflates post-migration TLB misses in Table 4.
+//
+// Both engines operate on the memsim.System page table and return the
+// modelled migration time; they do not touch simulated object contents
+// (virtual addresses never change in either mechanism, so the Go slices
+// backing objects are unaffected — asserted by tests).
+package migrate
+
+import (
+	"atmem/internal/memsim"
+)
+
+// Region is one contiguous virtual byte range to migrate.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Stats reports one migration run.
+type Stats struct {
+	// Engine names the mechanism used.
+	Engine string
+	// Seconds is the modelled migration time.
+	Seconds float64
+	// BytesRequested is the total size of the input regions.
+	BytesRequested uint64
+	// BytesMoved is how much actually changed tier.
+	BytesMoved uint64
+	// Regions is the number of contiguous regions processed.
+	Regions int
+	// PagesMoved counts 4 KiB pages that changed tier.
+	PagesMoved int
+	// HugePagesSplit counts 2 MiB mappings splintered into 4 KiB.
+	HugePagesSplit int
+	// TLBShootdowns counts modelled inter-processor shootdowns.
+	TLBShootdowns int
+}
+
+// Engine migrates regions to the target tier on a system.
+type Engine interface {
+	// Name identifies the engine ("atmem" or "mbind").
+	Name() string
+	// Migrate moves every page of the given regions to the target
+	// tier and returns timing and accounting. Regions are page-aligned
+	// outward before moving. Migration is all-or-nothing per region:
+	// a capacity failure aborts with the already-migrated regions in
+	// place and an error describing the failure.
+	Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error)
+}
+
+// alignRegion expands r outward to 4 KiB page boundaries.
+func alignRegion(r Region) Region {
+	lo := r.Base &^ (memsim.SmallPage - 1)
+	hi := memsim.RoundUp(r.Base+r.Size, memsim.SmallPage)
+	return Region{Base: lo, Size: hi - lo}
+}
+
+// movingBytes returns how many bytes of the (aligned) region are not yet
+// on the target tier.
+func movingBytes(sys *memsim.System, r Region, target memsim.Tier) uint64 {
+	onTier := sys.BytesOnTier(r.Base, r.Size)
+	var moving uint64
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		if t != target {
+			moving += onTier[t]
+		}
+	}
+	return moving
+}
+
+// copySeconds models a bulk copy of bytes from tier src to tier dst using
+// the given number of threads. The copy is bounded by the source read
+// bandwidth, the destination write bandwidth, and the threads' aggregate
+// copy capability; on shared-channel systems source reads and destination
+// writes serialize on the bus instead of overlapping.
+func copySeconds(p *memsim.SystemParams, bytes uint64, src, dst memsim.Tier, threads int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	threadBW := float64(threads) * p.CopyPerThreadGBs * 1e9
+	readBW := p.Tiers[src].ReadBWGBs * 1e9
+	writeBW := p.Tiers[dst].WriteBWGBs * 1e9
+	b := float64(bytes)
+	if p.SharedChannels && src != dst {
+		// Reads and writes contend for the same channels: total bus
+		// occupancy is the sum of both transfers.
+		busSeconds := b/readBW + b/writeBW
+		threadSeconds := b / threadBW
+		if threadSeconds > busSeconds {
+			return threadSeconds
+		}
+		return busSeconds
+	}
+	bw := readBW
+	if writeBW < bw {
+		bw = writeBW
+	}
+	if threadBW < bw {
+		bw = threadBW
+	}
+	return b / bw
+}

@@ -1,0 +1,254 @@
+package migrate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atmem/internal/memsim"
+)
+
+func testSystem(t *testing.T) *memsim.System {
+	if t != nil {
+		t.Helper()
+	}
+	p := memsim.NVMDRAMParams()
+	p.Tiers[memsim.TierFast].CapacityBytes = 16 * memsim.MiB
+	p.Tiers[memsim.TierSlow].CapacityBytes = 64 * memsim.MiB
+	return memsim.NewSystem(p)
+}
+
+func engines() []Engine {
+	return []Engine{&ATMemEngine{}, &MbindEngine{}}
+}
+
+func TestMigrationMovesPages(t *testing.T) {
+	for _, e := range engines() {
+		s := testSystem(t)
+		base, err := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if st.BytesMoved != 2*memsim.HugePage {
+			t.Errorf("%s: moved %d", e.Name(), st.BytesMoved)
+		}
+		if st.Seconds <= 0 {
+			t.Errorf("%s: no time charged", e.Name())
+		}
+		on := s.BytesOnTier(base, 4*memsim.HugePage)
+		if on[memsim.TierFast] != 2*memsim.HugePage || on[memsim.TierSlow] != 2*memsim.HugePage {
+			t.Errorf("%s: placement %v", e.Name(), on)
+		}
+	}
+}
+
+func TestMigrationIdempotent(t *testing.T) {
+	for _, e := range engines() {
+		s := testSystem(t)
+		base, _ := s.Alloc(memsim.HugePage, memsim.TierSlow)
+		r := []Region{{Base: base, Size: memsim.HugePage}}
+		if _, err := e.Migrate(s, r, memsim.TierFast); err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.Migrate(s, r, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BytesMoved != 0 {
+			t.Errorf("%s: re-migration moved %d bytes", e.Name(), st.BytesMoved)
+		}
+	}
+}
+
+func TestATMemPreservesInteriorHugePages(t *testing.T) {
+	s := testSystem(t)
+	base, _ := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+	e := &ATMemEngine{}
+	// Migrate a region covering huge pages 1 and 2 exactly.
+	if _, err := e.Migrate(s, []Region{{Base: base + memsim.HugePage, Size: 2 * memsim.HugePage}}, memsim.TierFast); err != nil {
+		t.Fatal(err)
+	}
+	huge, total := s.PageTable().HugePages(base, 4*memsim.HugePage)
+	if huge != total {
+		t.Errorf("aligned ATMem migration splintered pages: %d/%d huge", huge, total)
+	}
+}
+
+func TestATMemSplitsOnlyBoundaryHugePages(t *testing.T) {
+	s := testSystem(t)
+	base, _ := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+	e := &ATMemEngine{}
+	// Region starts halfway into huge page 0 and ends halfway into
+	// huge page 2: pages 0 and 2 split, page 1 stays huge.
+	st, err := e.Migrate(s, []Region{{
+		Base: base + memsim.HugePage/2,
+		Size: 2 * memsim.HugePage,
+	}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HugePagesSplit != 2 {
+		t.Errorf("split %d huge pages, want 2", st.HugePagesSplit)
+	}
+	if s.PageTable().Translate(base).Huge {
+		t.Error("leading boundary page still huge")
+	}
+	if !s.PageTable().Translate(base + memsim.HugePage).Huge {
+		t.Error("interior page splintered")
+	}
+	if s.PageTable().Translate(base + 2*memsim.HugePage).Huge {
+		t.Error("trailing boundary page still huge")
+	}
+	if !s.PageTable().Translate(base + 3*memsim.HugePage).Huge {
+		t.Error("untouched page splintered")
+	}
+}
+
+func TestMbindSplintersEverything(t *testing.T) {
+	s := testSystem(t)
+	base, _ := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+	e := &MbindEngine{}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HugePagesSplit != 2 {
+		t.Errorf("split %d, want 2", st.HugePagesSplit)
+	}
+	if s.PageTable().Translate(base).Huge || s.PageTable().Translate(base+memsim.HugePage).Huge {
+		t.Error("mbind left moved huge pages intact")
+	}
+	if !s.PageTable().Translate(base + 2*memsim.HugePage).Huge {
+		t.Error("mbind splintered pages outside the moved range")
+	}
+	if st.TLBShootdowns == 0 {
+		t.Error("mbind reported no shootdowns")
+	}
+}
+
+func TestATMemFasterThanMbind(t *testing.T) {
+	// The headline claim of §7.3: the multi-stage multi-threaded
+	// migration beats the system service on both testbed parameter
+	// sets.
+	for _, params := range []memsim.SystemParams{memsim.NVMDRAMParams(), memsim.MCDRAMDRAMParams()} {
+		s1 := memsim.NewSystem(params)
+		base1, err := s1.Alloc(4*memsim.MiB, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, err := (&ATMemEngine{}).Migrate(s1, []Region{{Base: base1, Size: 4 * memsim.MiB}}, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := memsim.NewSystem(params)
+		base2, err := s2.Alloc(4*memsim.MiB, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := (&MbindEngine{}).Migrate(s2, []Region{{Base: base2, Size: 4 * memsim.MiB}}, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := mb.Seconds / at.Seconds
+		if ratio < 1.3 {
+			t.Errorf("%s: mbind/atmem = %.2f, want >= 1.3 (paper: 1.3x-8.2x)", params.Name, ratio)
+		}
+		if ratio > 12 {
+			t.Errorf("%s: mbind/atmem = %.2f suspiciously high", params.Name, ratio)
+		}
+	}
+}
+
+func TestStagingBufferRespectsCapacity(t *testing.T) {
+	p := memsim.NVMDRAMParams()
+	// Fast tier barely bigger than the region: staging must slice.
+	p.Tiers[memsim.TierFast].CapacityBytes = 5 * memsim.MiB
+	s := memsim.NewSystem(p)
+	base, err := s.Alloc(4*memsim.MiB, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ATMemEngine{StagingBytes: 512 * memsim.KiB}
+	if _, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.MiB}}, memsim.TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesOnTier(base, 4*memsim.MiB)[memsim.TierFast]; got != 4*memsim.MiB {
+		t.Errorf("only %d bytes migrated", got)
+	}
+	// All staging reservations must have been released.
+	if used := s.Used(memsim.TierFast); used != 4*memsim.MiB {
+		t.Errorf("fast tier used %d, staging leak?", used)
+	}
+}
+
+func TestMigrationFailsWhenTargetFull(t *testing.T) {
+	p := memsim.NVMDRAMParams()
+	p.Tiers[memsim.TierFast].CapacityBytes = 1 * memsim.MiB
+	for _, e := range engines() {
+		s := memsim.NewSystem(p)
+		base, err := s.Alloc(8*memsim.MiB, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.MiB}}, memsim.TierFast); err == nil {
+			t.Errorf("%s: over-capacity migration accepted", e.Name())
+		}
+	}
+}
+
+func TestUnalignedRegionsAreExpanded(t *testing.T) {
+	for _, e := range engines() {
+		s := testSystem(t)
+		base, _ := s.Alloc(memsim.HugePage, memsim.TierSlow)
+		st, err := e.Migrate(s, []Region{{Base: base + 100, Size: 50}}, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BytesMoved != memsim.SmallPage {
+			t.Errorf("%s: moved %d, want one page", e.Name(), st.BytesMoved)
+		}
+		if tier, _ := s.TierOf(base); tier != memsim.TierFast {
+			t.Errorf("%s: containing page not moved", e.Name())
+		}
+	}
+}
+
+// Property: after migrating random page-aligned subranges, every page of
+// the object is still mapped, and bytes-on-tier accounting is conserved.
+func TestMigrationPreservesMappingTotality(t *testing.T) {
+	check := func(startPage, pages uint8, engineSel bool) bool {
+		const objPages = 64
+		s := testSystem(nil)
+		base, err := s.Alloc(objPages*memsim.SmallPage, memsim.TierSlow)
+		if err != nil {
+			return false
+		}
+		sp := uint64(startPage) % objPages
+		np := uint64(pages)%(objPages-sp) + 1
+		var e Engine = &ATMemEngine{}
+		if engineSel {
+			e = &MbindEngine{}
+		}
+		if _, err := e.Migrate(s, []Region{{
+			Base: base + sp*memsim.SmallPage,
+			Size: np * memsim.SmallPage,
+		}}, memsim.TierFast); err != nil {
+			return false
+		}
+		on := s.BytesOnTier(base, objPages*memsim.SmallPage)
+		return on[memsim.TierFast]+on[memsim.TierSlow] == objPages*memsim.SmallPage &&
+			on[memsim.TierFast] == np*memsim.SmallPage
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if (&ATMemEngine{}).Name() != "atmem" || (&MbindEngine{}).Name() != "mbind" {
+		t.Error("unexpected engine names")
+	}
+}

@@ -1,0 +1,197 @@
+// Package pebs implements a simulated precise-address sampling profiler in
+// the style of Intel's Processor Event-Based Sampling (paper §5.1).
+//
+// On the real testbeds ATMem programs the PMU to deliver every N-th
+// last-level-cache load miss with its precise data address. Here the LLC
+// miss stream comes from the memsim accessors' miss hook; the profiler
+// captures every N-th event per thread, charges a fixed per-sample capture
+// overhead to the thread that took it (so profiling cost is visible in
+// simulated time, §7.4), and hands the merged sample set to the analyzer.
+//
+// Sampling loss — hot chunks that receive zero samples purely because the
+// period skipped them — is therefore faithfully present, which is the
+// phenomenon ATMem's tree-based promotion exists to patch up (§4.3).
+package pebs
+
+// Sample is one captured precise-address event.
+type Sample struct {
+	// Addr is the cache-line-aligned data address of the sampled miss.
+	Addr uint64
+	// Write is true for store misses. The paper's priority metric uses
+	// missed reads (Eq. 1); the analyzer filters on this flag.
+	Write bool
+}
+
+// Config parameterizes the profiler.
+type Config struct {
+	// Period is the sampling period: one sample is captured every
+	// Period qualifying events (per thread).
+	Period uint64
+	// SampleOverheadNS is the capture cost charged to the sampled
+	// thread per captured event (PMI + PEBS buffer drain).
+	SampleOverheadNS float64
+}
+
+// DefaultConfig returns the profiler defaults used by the runtime before
+// auto-adjustment.
+func DefaultConfig() Config {
+	return Config{Period: 512, SampleOverheadNS: 250}
+}
+
+// AutoPeriod implements the paper's empirical sampling-rate adaptation
+// (§5.1): before enabling the PMU, ATMem combines the size and number of
+// all data chunks and the number of application threads to pick a period
+// that avoids needless overhead while collecting enough information.
+//
+// The expected qualifying-event volume of one profiled iteration is
+// estimated as one miss per cache line of registered data (graph kernels
+// touch most of their footprint each iteration with little reuse, §2.2).
+// The period is chosen so that on average targetPerChunk samples land on
+// every chunk, then clamped to [minPeriod, maxPeriod].
+func AutoPeriod(totalBytes uint64, lineBytes, totalChunks, threads int, targetPerChunk float64, minPeriod, maxPeriod uint64) uint64 {
+	if lineBytes <= 0 || totalChunks <= 0 || targetPerChunk <= 0 {
+		return minPeriod
+	}
+	estEvents := float64(totalBytes) / float64(lineBytes)
+	// Per-thread sampling makes the effective system period
+	// period/threads; the estimate is system-wide, so no further
+	// correction is needed beyond using system-wide targets.
+	targetSamples := targetPerChunk * float64(totalChunks)
+	if targetSamples < 1 {
+		targetSamples = 1
+	}
+	period := uint64(estEvents / targetSamples)
+	if period < minPeriod {
+		period = minPeriod
+	}
+	if period > maxPeriod {
+		period = maxPeriod
+	}
+	if period == 0 {
+		period = 1
+	}
+	return period
+}
+
+// Profiler owns the per-thread samplers and the enable switch. It is
+// created once per runtime; Start/Stop toggle collection between phases
+// (never concurrently with running kernels).
+type Profiler struct {
+	cfg            Config
+	overheadCycles float64
+	enabled        bool
+	threads        []*ThreadSampler
+}
+
+// New builds a Profiler; clockGHz converts the capture overhead into the
+// cycle currency of the accessors.
+func New(cfg Config, clockGHz float64) *Profiler {
+	if cfg.Period == 0 {
+		cfg.Period = DefaultConfig().Period
+	}
+	return &Profiler{
+		cfg:            cfg,
+		overheadCycles: cfg.SampleOverheadNS * clockGHz,
+	}
+}
+
+// Config returns the active configuration.
+func (p *Profiler) Config() Config { return p.cfg }
+
+// SetPeriod changes the sampling period for subsequent events.
+func (p *Profiler) SetPeriod(period uint64) {
+	if period == 0 {
+		period = 1
+	}
+	p.cfg.Period = period
+	for _, ts := range p.threads {
+		ts.period = period
+	}
+}
+
+// Start enables sample collection.
+func (p *Profiler) Start() { p.enabled = true }
+
+// Stop disables sample collection.
+func (p *Profiler) Stop() { p.enabled = false }
+
+// Enabled reports whether the profiler is collecting.
+func (p *Profiler) Enabled() bool { return p.enabled }
+
+// ThreadSampler returns (allocating on first use) the sampler for thread
+// i. Thread samplers are not safe for concurrent use with each other's
+// creation; the runtime allocates them up front.
+func (p *Profiler) ThreadSampler(i int) *ThreadSampler {
+	for len(p.threads) <= i {
+		countdown := p.cfg.Period
+		// Stagger later threads' counters so they do not sample in
+		// lockstep on symmetric workloads; thread 0 keeps the exact
+		// period.
+		if tid := len(p.threads); tid > 0 {
+			countdown = p.cfg.Period*uint64(tid)/uint64(tid+1) + 1
+		}
+		p.threads = append(p.threads, &ThreadSampler{
+			prof:      p,
+			period:    p.cfg.Period,
+			countdown: countdown,
+		})
+	}
+	return p.threads[i]
+}
+
+// Samples returns all captured samples merged across threads.
+func (p *Profiler) Samples() []Sample {
+	var n int
+	for _, ts := range p.threads {
+		n += len(ts.buf)
+	}
+	out := make([]Sample, 0, n)
+	for _, ts := range p.threads {
+		out = append(out, ts.buf...)
+	}
+	return out
+}
+
+// SampleCount returns the number of captured samples.
+func (p *Profiler) SampleCount() int {
+	var n int
+	for _, ts := range p.threads {
+		n += len(ts.buf)
+	}
+	return n
+}
+
+// Reset discards captured samples and rewinds the period counters.
+func (p *Profiler) Reset() {
+	for _, ts := range p.threads {
+		ts.buf = ts.buf[:0]
+		ts.countdown = ts.period
+	}
+}
+
+// ThreadSampler captures every period-th qualifying event of one thread.
+type ThreadSampler struct {
+	prof      *Profiler
+	period    uint64
+	countdown uint64
+	buf       []Sample
+}
+
+// OnMiss is the memsim.MissHook body: it observes one LLC miss and returns
+// the cycles of profiling overhead to charge (zero unless a sample was
+// captured).
+func (ts *ThreadSampler) OnMiss(addr uint64, write bool) float64 {
+	if !ts.prof.enabled {
+		return 0
+	}
+	ts.countdown--
+	if ts.countdown != 0 {
+		return 0
+	}
+	ts.countdown = ts.period
+	ts.buf = append(ts.buf, Sample{Addr: addr, Write: write})
+	return ts.prof.overheadCycles
+}
+
+// Captured returns the samples captured by this thread so far.
+func (ts *ThreadSampler) Captured() []Sample { return ts.buf }

@@ -1,0 +1,184 @@
+package pebs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplingPeriod(t *testing.T) {
+	p := New(Config{Period: 10, SampleOverheadNS: 100}, 2.0)
+	p.Start()
+	ts := p.ThreadSampler(0)
+	for i := 0; i < 100; i++ {
+		ts.OnMiss(uint64(i*64), false)
+	}
+	if n := p.SampleCount(); n != 10 {
+		t.Errorf("samples = %d, want 10", n)
+	}
+}
+
+func TestDisabledProfilerCapturesNothing(t *testing.T) {
+	p := New(Config{Period: 1}, 2.0)
+	ts := p.ThreadSampler(0)
+	for i := 0; i < 50; i++ {
+		if ovh := ts.OnMiss(uint64(i), false); ovh != 0 {
+			t.Fatal("disabled profiler charged overhead")
+		}
+	}
+	if p.SampleCount() != 0 {
+		t.Error("disabled profiler captured samples")
+	}
+	p.Start()
+	ts.OnMiss(0, false)
+	p.Stop()
+	n := p.SampleCount()
+	ts.OnMiss(0, false)
+	if p.SampleCount() != n {
+		t.Error("stopped profiler captured a sample")
+	}
+}
+
+func TestSampleOverheadCycles(t *testing.T) {
+	p := New(Config{Period: 1, SampleOverheadNS: 100}, 2.0)
+	p.Start()
+	ts := p.ThreadSampler(0)
+	ovh := ts.OnMiss(0x1234, true)
+	if ovh != 200 { // 100 ns at 2 GHz
+		t.Errorf("overhead = %v cycles, want 200", ovh)
+	}
+	s := ts.Captured()
+	if len(s) != 1 || s[0].Addr != 0x1234 || !s[0].Write {
+		t.Errorf("captured %+v", s)
+	}
+}
+
+func TestSamplesMergeAcrossThreads(t *testing.T) {
+	p := New(Config{Period: 2}, 1.0)
+	p.Start()
+	for tid := 0; tid < 4; tid++ {
+		ts := p.ThreadSampler(tid)
+		for i := 0; i < 10; i++ {
+			ts.OnMiss(uint64(tid*1000+i), false)
+		}
+	}
+	if n := len(p.Samples()); n != 4*5 {
+		t.Errorf("merged %d samples, want 20", n)
+	}
+}
+
+func TestThreadSamplersAreStaggered(t *testing.T) {
+	p := New(Config{Period: 100}, 1.0)
+	p.Start()
+	a := p.ThreadSampler(0)
+	b := p.ThreadSampler(1)
+	var firstA, firstB int = -1, -1
+	for i := 0; i < 100; i++ {
+		if len(a.Captured()) == 0 {
+			a.OnMiss(uint64(i), false)
+			if len(a.Captured()) > 0 {
+				firstA = i
+			}
+		}
+		if len(b.Captured()) == 0 {
+			b.OnMiss(uint64(i), false)
+			if len(b.Captured()) > 0 {
+				firstB = i
+			}
+		}
+	}
+	if firstA == firstB {
+		t.Error("thread samplers fire in lockstep")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{Period: 1}, 1.0)
+	p.Start()
+	ts := p.ThreadSampler(0)
+	ts.OnMiss(1, false)
+	p.Reset()
+	if p.SampleCount() != 0 {
+		t.Error("reset kept samples")
+	}
+	ts.OnMiss(2, false)
+	if p.SampleCount() != 1 {
+		t.Error("sampler dead after reset")
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	p := New(Config{Period: 1000}, 1.0)
+	p.Start()
+	ts := p.ThreadSampler(0)
+	p.SetPeriod(5)
+	p.Reset()
+	for i := 0; i < 50; i++ {
+		ts.OnMiss(uint64(i), false)
+	}
+	if n := p.SampleCount(); n != 10 {
+		t.Errorf("samples = %d, want 10 after period change", n)
+	}
+	p.SetPeriod(0) // clamps to 1
+	if p.Config().Period != 1 {
+		t.Error("zero period not clamped")
+	}
+}
+
+func TestDefaultPeriodApplied(t *testing.T) {
+	p := New(Config{}, 1.0)
+	if p.Config().Period != DefaultConfig().Period {
+		t.Errorf("period %d, want default", p.Config().Period)
+	}
+}
+
+func TestAutoPeriodBounds(t *testing.T) {
+	// Tiny workloads clamp to the minimum period.
+	if got := AutoPeriod(1024, 64, 10, 4, 32, 16, 1<<16); got != 16 {
+		t.Errorf("small workload period %d, want 16", got)
+	}
+	// Huge workloads clamp to the maximum.
+	if got := AutoPeriod(1<<40, 64, 1, 4, 1, 16, 1<<16); got != 1<<16 {
+		t.Errorf("huge workload period %d, want max", got)
+	}
+	// Degenerate inputs fall back to the minimum.
+	if got := AutoPeriod(0, 0, 0, 0, 0, 16, 1<<16); got != 16 {
+		t.Errorf("degenerate period %d", got)
+	}
+}
+
+// Property: AutoPeriod is monotone in the data size — more data, coarser
+// sampling.
+func TestAutoPeriodMonotone(t *testing.T) {
+	check := func(a, b uint32) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pLo := AutoPeriod(lo, 64, 100, 8, 16, 16, 1<<16)
+		pHi := AutoPeriod(hi, 64, 100, 8, 16, 16, 1<<16)
+		return pLo <= pHi
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sample count over N misses is N/period within one per
+// thread.
+func TestSampleCountProperty(t *testing.T) {
+	check := func(period uint8, misses uint16) bool {
+		per := uint64(period%100) + 1
+		p := New(Config{Period: per}, 1.0)
+		p.Start()
+		ts := p.ThreadSampler(0)
+		for i := 0; i < int(misses); i++ {
+			ts.OnMiss(uint64(i), false)
+		}
+		want := int(uint64(misses) / per)
+		got := p.SampleCount()
+		return got >= want-1 && got <= want+1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xorshift128+). Every stochastic component of the reproduction — graph
+// generation, SSSP edge weights, source selection — draws from an RNG
+// seeded explicitly so that runs are reproducible bit-for-bit.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns an RNG seeded from seed via SplitMix64, which guarantees a
+// well-mixed non-zero internal state for any seed (including 0).
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0,n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero bound")
+	}
+	return r.Uint64() % n
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent RNG stream labelled by tag. Two forks of the
+// same RNG with different tags produce unrelated streams; forking does not
+// advance the parent.
+func (r *RNG) Fork(tag uint64) *RNG {
+	return NewRNG(r.s0 ^ (r.s1 * 0x9e3779b97f4a7c15) ^ tag)
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{25, 2},
+		{50, 3},
+		{75, 4},
+		{100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := Percentile(xs, 90); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Percentile(90) = %v, want 9", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty input should give NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single element: got %v", got)
+	}
+	// Out-of-range p is clamped.
+	if got := Percentile([]float64{1, 2}, -10); got != 1 {
+		t.Errorf("clamped low: got %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 200); got != 2 {
+		t.Errorf("clamped high: got %v", got)
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	check := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		a := Percentile(raw, p)
+		b := PercentileSorted(sorted, p)
+		return (math.IsNaN(a) && math.IsNaN(b)) || a == b
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a percentile always lies within [min, max] of the sample.
+func TestPercentileWithinBounds(t *testing.T) {
+	check := func(raw []float64, p float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(xs, p)
+		s := Summarize(xs)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoMeansSplitSeparatesClusters(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1.05, 10, 10.2, 9.8}
+	split := TwoMeansSplit(xs)
+	if split <= 1.1 || split >= 9.8 {
+		t.Errorf("split %v not between clusters", split)
+	}
+}
+
+func TestTwoMeansSplitUniform(t *testing.T) {
+	if got := TwoMeansSplit([]float64{5, 5, 5}); got != 5 {
+		t.Errorf("uniform input: got %v, want 5", got)
+	}
+	if !math.IsNaN(TwoMeansSplit(nil)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+// Property: the split lies within the data range.
+func TestTwoMeansSplitWithinRange(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		split := TwoMeansSplit(xs)
+		s := Summarize(xs)
+		return split >= s.Min-1e-9 && split <= s.Max+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || s.Mean != 4 || s.Sum != 12 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Min) || !math.IsNaN(s.Max) {
+		t.Errorf("unexpected empty summary: %+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of non-positive value should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2}).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

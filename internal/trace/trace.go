@@ -1,0 +1,149 @@
+// Package trace serializes precise-address miss traces for offline
+// analysis. Recording a workload once (with the profiler at period 1)
+// and replaying the trace through the analyzer makes it cheap to explore
+// analyzer configurations — chunk granularities, tree arities, ε values —
+// without re-running the application, the workflow of the offline
+// profilers the paper's related work contrasts ATMem against ([9], [30]).
+//
+// Format: the header "ATMT" + version, then one varint-encoded record per
+// event. Addresses are delta-encoded (zig-zag) against the previous
+// event's address, with the write flag folded into the low bit — graph
+// traces interleave streams and random accesses, so deltas keep files
+// several times smaller than raw addresses.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Event is one recorded demand-miss.
+type Event struct {
+	// Addr is the sampled data address.
+	Addr uint64
+	// Write marks store misses.
+	Write bool
+}
+
+const (
+	magic   = "ATMT"
+	version = 1
+)
+
+// Writer streams events to an underlying writer.
+type Writer struct {
+	bw       *bufio.Writer
+	prev     uint64
+	count    uint64
+	buf      [binary.MaxVarintLen64]byte
+	finished bool
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(vbuf[:], version)
+	if _, err := bw.Write(vbuf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Add appends one event. Addresses must stay below 2^62 (folding the
+// write bit costs one payload bit, zig-zag another); every simulated
+// virtual address is far below that.
+func (w *Writer) Add(e Event) error {
+	if w.finished {
+		return fmt.Errorf("trace: Add after Flush")
+	}
+	if e.Addr >= 1<<62 {
+		return fmt.Errorf("trace: address %#x out of encodable range", e.Addr)
+	}
+	delta := int64(e.Addr) - int64(w.prev)
+	w.prev = e.Addr
+	// Zig-zag the delta, then fold the write bit into the low bit.
+	zz := uint64((delta << 1) ^ (delta >> 63))
+	payload := zz << 1
+	if e.Write {
+		payload |= 1
+	}
+	n := binary.PutUvarint(w.buf[:], payload)
+	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered data; the Writer cannot be used afterwards.
+func (w *Writer) Flush() error {
+	w.finished = true
+	return w.bw.Flush()
+}
+
+// Reader iterates a trace.
+type Reader struct {
+	br   *bufio.Reader
+	prev uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next event, or io.EOF at the end of the trace.
+func (r *Reader) Next() (Event, error) {
+	payload, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	write := payload&1 == 1
+	zz := payload >> 1
+	delta := int64(zz>>1) ^ -int64(zz&1)
+	addr := uint64(int64(r.prev) + delta)
+	r.prev = addr
+	return Event{Addr: addr, Write: write}, nil
+}
+
+// ReadAll drains the reader into a slice.
+func ReadAll(r *Reader) ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

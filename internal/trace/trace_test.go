@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	events := []Event{
+		{Addr: 0x1000, Write: false},
+		{Addr: 0x1040, Write: true},
+		{Addr: 0x200000, Write: false},
+		{Addr: 0x1080, Write: false}, // backwards delta
+		{Addr: 0x1080, Write: true},  // zero delta
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Errorf("count %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// Property: any event sequence within the encodable address range
+// round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(addrs []uint64, writes []bool) bool {
+		var events []Event
+		for i, a := range addrs {
+			events = append(events, Event{Addr: a % (1 << 62), Write: i < len(writes) && writes[i]})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range events {
+			if err := w.Add(e); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := ReadAll(r)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// A sequential stream must cost ~1-2 bytes per event.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := uint64(0); i < 10000; i++ {
+		if err := w.Add(Event{Addr: 0x100000 + i*64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / 10000
+	if perEvent > 2.5 {
+		t.Errorf("%.2f bytes/event for a sequential stream, want <= 2.5", perEvent)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("nope")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("AT")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestWriterRejectsAddAfterFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(Event{}); err == nil {
+		t.Error("Add after Flush accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty trace Next = %v, want EOF", err)
+	}
+}
+
+func TestAddRejectsOutOfRangeAddress(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Add(Event{Addr: 1 << 63}); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+}

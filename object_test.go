@@ -1,0 +1,90 @@
+package atmem
+
+import (
+	"testing"
+)
+
+func TestSimLoadStoreChargeWithoutTouchingData(t *testing.T) {
+	rt := newTestRuntime(t)
+	arr, err := NewArray[uint32](rt, "x", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Fill(7)
+	var accesses uint64
+	rt.RunPhase("sim", func(c *Ctx) {
+		if c.ID != 0 {
+			return
+		}
+		arr.SimLoad(c, 5)
+		arr.SimStore(c, 5)
+		accesses = 2
+	})
+	if accesses != 2 {
+		t.Fatal("phase did not run")
+	}
+	if arr.Raw()[5] != 7 {
+		t.Error("SimStore touched the backing data")
+	}
+	last := rt.Phases()[len(rt.Phases())-1]
+	if last.Stats.Accesses != 2 {
+		t.Errorf("sim accesses %d, want 2", last.Stats.Accesses)
+	}
+}
+
+func TestArrayTypes(t *testing.T) {
+	rt := newTestRuntime(t)
+	i8, err := NewArray[int8](rt, "i8", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i8.ElemSize() != 1 || i8.Object().Size() != 10 {
+		t.Errorf("int8 array: elem %d size %d", i8.ElemSize(), i8.Object().Size())
+	}
+	f64, err := NewArray[float64](rt, "f64", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64.ElemSize() != 8 || f64.Object().Size() != 80 {
+		t.Errorf("float64 array: elem %d size %d", f64.ElemSize(), f64.Object().Size())
+	}
+}
+
+func TestZeroLengthArrayStillAddressable(t *testing.T) {
+	rt := newTestRuntime(t)
+	arr, err := NewArray[uint64](rt, "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 0 {
+		t.Errorf("len %d", arr.Len())
+	}
+	if arr.Object().Size() == 0 {
+		t.Error("zero-length array must keep an addressable registration")
+	}
+	if err := arr.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeLengthArrayRejected(t *testing.T) {
+	rt := newTestRuntime(t)
+	if _, err := NewArray[uint32](rt, "bad", -1); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestFreeForeignObjectRejected(t *testing.T) {
+	rt1 := newTestRuntime(t)
+	rt2 := newTestRuntime(t)
+	obj, err := rt1.Malloc("x", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Free(obj); err == nil {
+		t.Error("foreign free accepted")
+	}
+	if err := rt2.Free(nil); err == nil {
+		t.Error("nil free accepted")
+	}
+}

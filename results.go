@@ -1,0 +1,143 @@
+package atmem
+
+import (
+	"fmt"
+
+	"atmem/internal/memsim"
+)
+
+// PhaseResult is the outcome of one RunPhase: the simulated execution
+// time and the aggregated memory-system events.
+type PhaseResult struct {
+	// Name labels the phase ("iter1", "bfs-root-4", ...).
+	Name string
+	// Stats holds the reduced simulator statistics.
+	Stats memsim.PhaseStats
+}
+
+// Seconds returns the phase's simulated wall time.
+func (p PhaseResult) Seconds() float64 { return p.Stats.WallSeconds }
+
+func (p PhaseResult) String() string {
+	return fmt.Sprintf("%s: %.6fs (lat %.6fs, bw %.6fs, %d misses, %d TLB misses)",
+		p.Name, p.Stats.WallSeconds, p.Stats.LatencySeconds,
+		p.Stats.BandwidthSeconds, p.Stats.LLCMisses, p.Stats.TLBMisses)
+}
+
+// MigrationReport summarizes one Optimize call: what the analyzer
+// selected and what the migration engine did.
+type MigrationReport struct {
+	// Engine names the migration mechanism used.
+	Engine string
+	// Seconds is the modelled migration time.
+	Seconds float64
+	// BytesMoved is the volume that changed tier.
+	BytesMoved uint64
+	// PagesMoved counts migrated 4 KiB pages.
+	PagesMoved int
+	// Regions counts contiguous migrated regions.
+	Regions int
+	// HugePagesSplit counts 2 MiB mappings splintered by the engine.
+	HugePagesSplit int
+	// TLBShootdowns counts modelled shootdown IPIs.
+	TLBShootdowns int
+	// TotalBytes is the registered data footprint.
+	TotalBytes uint64
+	// SelectedBytes is the plan's fast-memory selection.
+	SelectedBytes uint64
+	// SampledBytes and EstimatedBytes split the selection by origin:
+	// sampled-critical chunks vs. tree-promoted chunks (§4.3).
+	SampledBytes   uint64
+	EstimatedBytes uint64
+	// ClippedBytes is what the fast-tier capacity budget dropped.
+	ClippedBytes uint64
+}
+
+// DataRatio is SelectedBytes/TotalBytes — the x-axis of Figures 7–10.
+func (m MigrationReport) DataRatio() float64 {
+	if m.TotalBytes == 0 {
+		return 0
+	}
+	return float64(m.SelectedBytes) / float64(m.TotalBytes)
+}
+
+func (m MigrationReport) String() string {
+	return fmt.Sprintf("%s: moved %d bytes (%d regions, %d pages) in %.6fs; ratio %.3f (sampled %d + estimated %d)",
+		m.Engine, m.BytesMoved, m.Regions, m.PagesMoved, m.Seconds,
+		m.DataRatio(), m.SampledBytes, m.EstimatedBytes)
+}
+
+func (r *Runtime) migrationReport() MigrationReport {
+	rep := MigrationReport{}
+	if r.migStats != nil {
+		rep.Engine = r.migStats.Engine
+		rep.Seconds = r.migStats.Seconds
+		rep.BytesMoved = r.migStats.BytesMoved
+		rep.PagesMoved = r.migStats.PagesMoved
+		rep.Regions = r.migStats.Regions
+		rep.HugePagesSplit = r.migStats.HugePagesSplit
+		rep.TLBShootdowns = r.migStats.TLBShootdowns
+	}
+	if r.plan != nil {
+		rep.TotalBytes = r.plan.TotalBytes
+		rep.SelectedBytes = r.plan.SelectedBytes
+		rep.ClippedBytes = r.plan.ClippedBytes
+		for i := range r.plan.Objects {
+			rep.SampledBytes += r.plan.Objects[i].SampledBytes
+			rep.EstimatedBytes += r.plan.Objects[i].EstimatedBytes
+		}
+	}
+	return rep
+}
+
+// LastMigration returns the report of the most recent Optimize, or a zero
+// report if none has run.
+func (r *Runtime) LastMigration() MigrationReport { return r.migrationReport() }
+
+// ObjectPlacement describes where one object's bytes live.
+type ObjectPlacement struct {
+	Name          string
+	Size          uint64
+	FastBytes     uint64
+	SelectedBytes uint64
+	Ranges        int
+	ChunkSize     uint64
+}
+
+// PlacementSummary reports the current placement of every registered
+// object.
+func (r *Runtime) PlacementSummary() []ObjectPlacement {
+	var out []ObjectPlacement
+	for _, o := range r.Objects() {
+		op := ObjectPlacement{
+			Name:      o.name,
+			Size:      o.size,
+			FastBytes: o.FastBytes(),
+			ChunkSize: o.do.ChunkSize,
+		}
+		if r.plan != nil {
+			for i := range r.plan.Objects {
+				if r.plan.Objects[i].Object == o.do {
+					op.SelectedBytes = r.plan.Objects[i].SelectedBytes()
+					op.Ranges = len(r.plan.Objects[i].Ranges)
+				}
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// FastDataRatio returns the fraction of registered bytes currently on the
+// high-performance memory.
+func (r *Runtime) FastDataRatio() float64 {
+	var total, fast uint64
+	for _, o := range r.Objects() {
+		total += o.size
+		fast += o.FastBytes()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fast) / float64(total)
+}

@@ -1,0 +1,381 @@
+package atmem
+
+import (
+	"fmt"
+	"sync"
+
+	"atmem/internal/core"
+	"atmem/internal/memsim"
+	"atmem/internal/migrate"
+	"atmem/internal/pebs"
+)
+
+// Runtime is one ATMem session on one simulated HMS: it owns the memory
+// system, the data-object registry, the sampling profiler, and the
+// migration engine, and implements the paper's Listing-1 API
+// (atmem_malloc/atmem_free/atmem_profiling_start/atmem_profiling_stop/
+// atmem_optimize).
+//
+// A Runtime is not safe for concurrent use except inside RunPhase, which
+// runs the supplied kernel on all simulated threads in parallel.
+type Runtime struct {
+	testbed Testbed
+	opts    Options
+	sys     *memsim.System
+	reg     *core.Registry
+	prof    *pebs.Profiler
+	engine  migrate.Engine
+
+	objects   map[uint64]*Object
+	accessors []*memsim.Accessor
+
+	plan     *core.Plan
+	migStats *migrate.Stats
+	phases   []PhaseResult
+	profiled bool
+}
+
+// NewRuntime builds a runtime on the given testbed.
+func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("atmem: NewRuntime accepts at most one Options")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	p := tb.params
+	if o.Threads > 0 {
+		p.Threads = o.Threads
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Analyzer.Validate(); err != nil {
+		return nil, err
+	}
+	tb.params = p
+	r := &Runtime{
+		testbed: tb,
+		opts:    o,
+		sys:     memsim.NewSystem(p),
+		reg:     core.NewRegistry(o.Analyzer),
+		objects: make(map[uint64]*Object),
+	}
+	period := o.SamplePeriod
+	if period == 0 {
+		period = pebs.DefaultConfig().Period
+	}
+	r.prof = pebs.New(pebs.Config{
+		Period:           period,
+		SampleOverheadNS: o.SampleOverheadNS,
+	}, p.ClockGHz)
+	r.engine = o.newEngine(p.Threads)
+	r.accessors = make([]*memsim.Accessor, p.Threads)
+	for i := range r.accessors {
+		r.accessors[i] = r.sys.NewAccessor()
+		ts := r.prof.ThreadSampler(i)
+		r.accessors[i].SetMissHook(ts.OnMiss)
+	}
+	return r, nil
+}
+
+// Testbed returns the testbed the runtime simulates.
+func (r *Runtime) Testbed() Testbed { return r.testbed }
+
+// Options returns the effective options.
+func (r *Runtime) Options() Options { return r.opts }
+
+// Threads returns the simulated thread count.
+func (r *Runtime) Threads() int { return len(r.accessors) }
+
+// System exposes the underlying simulator (for tests and the harness).
+func (r *Runtime) System() *memsim.System { return r.sys }
+
+// Registry exposes the data-object registry (for tests and the harness).
+func (r *Runtime) Registry() *core.Registry { return r.reg }
+
+// allocTier resolves the placement policy for a new allocation.
+func (r *Runtime) allocTier(size uint64) (memsim.Tier, error) {
+	switch r.opts.Policy {
+	case PolicyAllFast:
+		return memsim.TierFast, nil
+	case PolicyPreferFast:
+		// Mirror Alloc's mapping granularity: big objects are
+		// huge-page backed and consume 2 MiB-rounded capacity.
+		align := uint64(memsim.SmallPage)
+		if size >= memsim.HugePage {
+			align = memsim.HugePage
+		}
+		if r.sys.FreeCapacity(memsim.TierFast) >= memsim.RoundUp(size, align) {
+			return memsim.TierFast, nil
+		}
+		return memsim.TierSlow, nil
+	case PolicyBaseline, PolicyATMem:
+		return memsim.TierSlow, nil
+	default:
+		return 0, fmt.Errorf("atmem: unknown policy %v", r.opts.Policy)
+	}
+}
+
+// Malloc is atmem_malloc (Listing 1): it allocates size bytes of
+// simulated memory according to the placement policy and registers the
+// object with the profiler/analyzer under the given name.
+func (r *Runtime) Malloc(name string, size uint64) (*Object, error) {
+	var base uint64
+	var err error
+	if r.opts.Policy == PolicyPreferFast {
+		// `numactl -p` semantics: fill the fast memory page by page
+		// in allocation order, spilling to the large memory when full.
+		base, err = r.sys.AllocPrefer(size)
+	} else {
+		var tier memsim.Tier
+		tier, err = r.allocTier(size)
+		if err != nil {
+			return nil, err
+		}
+		base, err = r.sys.Alloc(size, tier)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("atmem: malloc %q: %w", name, err)
+	}
+	do, err := r.reg.Register(name, base, size)
+	if err != nil {
+		// Roll the mapping back: registration failures must not leak
+		// address space.
+		if ferr := r.sys.Free(base, size); ferr != nil {
+			panic(ferr)
+		}
+		return nil, err
+	}
+	o := &Object{
+		rt:   r,
+		name: name,
+		base: base,
+		size: size,
+		data: make([]byte, size),
+		do:   do,
+	}
+	r.objects[base] = o
+	return o, nil
+}
+
+// Free is atmem_free (Listing 1).
+func (r *Runtime) Free(o *Object) error {
+	if o == nil || o.rt != r {
+		return fmt.Errorf("atmem: free of foreign object")
+	}
+	if _, ok := r.objects[o.base]; !ok {
+		return fmt.Errorf("atmem: double free of %q", o.name)
+	}
+	if err := r.reg.Unregister(o.base); err != nil {
+		return err
+	}
+	if err := r.sys.Free(o.base, o.size); err != nil {
+		return err
+	}
+	delete(r.objects, o.base)
+	o.data = nil
+	return nil
+}
+
+// Objects returns the live objects in registration-independent (address)
+// order via the registry.
+func (r *Runtime) Objects() []*Object {
+	out := make([]*Object, 0, len(r.objects))
+	for _, do := range r.reg.Objects() {
+		if o, ok := r.objects[do.Base]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ProfilingStart is atmem_profiling_start (Listing 1): it clears previous
+// samples, auto-adjusts the sampling period from the registered footprint
+// (§5.1) unless a fixed period was configured, and enables collection.
+func (r *Runtime) ProfilingStart() {
+	r.prof.Reset()
+	if r.opts.SamplePeriod == 0 {
+		period := pebs.AutoPeriod(
+			r.reg.TotalBytes(),
+			r.sys.P.LineBytes,
+			r.reg.TotalChunks(),
+			r.Threads(),
+			r.opts.Analyzer.TargetSamplesPerChunk,
+			16, 1<<16,
+		)
+		r.prof.SetPeriod(period)
+	}
+	r.prof.Start()
+}
+
+// ProfilingStop is atmem_profiling_stop (Listing 1): it disables
+// collection and attributes the captured samples to data chunks.
+// It returns the number of samples attributed to registered objects.
+func (r *Runtime) ProfilingStop() int {
+	r.prof.Stop()
+	n := r.reg.AttributeSamples(r.prof.Samples())
+	r.profiled = n > 0 || r.profiled
+	return n
+}
+
+// SamplePeriod returns the profiler period in force.
+func (r *Runtime) SamplePeriod() uint64 { return r.prof.Config().Period }
+
+// SampleCount returns the number of samples captured so far.
+func (r *Runtime) SampleCount() int { return r.prof.SampleCount() }
+
+// MissSample is one captured precise-address profiler event, exported
+// for trace recording (see internal/trace and cmd/atmem-trace).
+type MissSample struct {
+	// Addr is the sampled data address.
+	Addr uint64
+	// Write marks store misses.
+	Write bool
+}
+
+// Samples returns a copy of every profiler sample captured since the
+// last ProfilingStart. With SamplePeriod 1 this is the complete demand
+// -miss trace of the profiled phases.
+func (r *Runtime) Samples() []MissSample {
+	raw := r.prof.Samples()
+	out := make([]MissSample, len(raw))
+	for i, s := range raw {
+		out[i] = MissSample{Addr: s.Addr, Write: s.Write}
+	}
+	return out
+}
+
+// ObjectManifest describes the registered data objects at the time of a
+// trace capture, letting an offline analyzer rebuild the registry.
+type ObjectManifest struct {
+	Name string `json:"name"`
+	Base uint64 `json:"base"`
+	Size uint64 `json:"size"`
+}
+
+// Manifest returns the manifest of all live registered objects.
+func (r *Runtime) Manifest() []ObjectManifest {
+	var out []ObjectManifest
+	for _, o := range r.Objects() {
+		out = append(out, ObjectManifest{Name: o.Name(), Base: o.Base(), Size: o.Size()})
+	}
+	return out
+}
+
+// Optimize is atmem_optimize (Listing 1): it runs the two-stage analyzer
+// over the attributed samples, then migrates the selected ranges onto the
+// high-performance memory with the configured engine. It returns the
+// migration statistics.
+func (r *Runtime) Optimize() (MigrationReport, error) {
+	if !r.profiled {
+		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
+	}
+	budget := r.sys.FreeCapacity(memsim.TierFast)
+	if budget > r.opts.CapacityReserve {
+		budget -= r.opts.CapacityReserve
+	} else {
+		// Fully reserved: a zero budget would mean "unlimited" to the
+		// analyzer, so pass the smallest non-zero budget, which clips
+		// the whole selection.
+		budget = 1
+	}
+	plan, err := core.Analyze(r.reg, r.prof.Config().Period, budget)
+	if err != nil {
+		return MigrationReport{}, err
+	}
+	if r.opts.BandwidthAware && !r.sys.P.SharedChannels {
+		trimPlanForBandwidth(plan, &r.sys.P)
+	}
+	r.plan = plan
+
+	regions := make([]migrate.Region, 0, len(plan.Objects)*2)
+	for i := range plan.Objects {
+		for _, rg := range plan.Objects[i].Ranges {
+			regions = append(regions, migrate.Region{Base: rg.Base, Size: rg.Size})
+		}
+	}
+	st, err := r.engine.Migrate(r.sys, regions, memsim.TierFast)
+	if err != nil {
+		return MigrationReport{}, fmt.Errorf("atmem: migration: %w", err)
+	}
+	r.migStats = &st
+
+	// Both mechanisms invalidate the moved ranges from every thread's
+	// TLB (shootdown) and cache (lines now map to new physical pages).
+	for _, a := range r.accessors {
+		for _, rg := range regions {
+			a.InvalidateTLBRange(rg.Base, rg.Size)
+			a.InvalidateCacheRange(rg.Base, rg.Size)
+		}
+	}
+	return r.migrationReport(), nil
+}
+
+// Plan returns the analyzer's most recent placement plan (nil before the
+// first Optimize).
+func (r *Runtime) Plan() *core.Plan { return r.plan }
+
+// Ctx is the per-thread execution context handed to RunPhase kernels.
+type Ctx struct {
+	acc *memsim.Accessor
+	// ID is this simulated thread's index in [0, NumThreads).
+	ID int
+	// NumThreads is the simulated thread count of the phase.
+	NumThreads int
+}
+
+// Compute charges cycles of ALU/control work to the thread.
+func (c *Ctx) Compute(cycles float64) { c.acc.Compute(cycles) }
+
+// Load simulates a raw read of size bytes at a virtual address. Most code
+// should use the typed Array views instead.
+func (c *Ctx) Load(addr uint64, size uint32) { c.acc.Load(addr, size) }
+
+// Store simulates a raw write of size bytes at a virtual address.
+func (c *Ctx) Store(addr uint64, size uint32) { c.acc.Store(addr, size) }
+
+// Range splits n work items into this thread's contiguous share,
+// returning [lo, hi).
+func (c *Ctx) Range(n int) (lo, hi int) {
+	per := (n + c.NumThreads - 1) / c.NumThreads
+	lo = c.ID * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// RunPhase executes kernel on every simulated thread in parallel, with
+// counters reset at phase entry and cache/TLB state carried over from
+// previous phases (the paper measures the warm second iteration, §6). It
+// returns the phase's simulated time and event statistics.
+func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
+	for _, a := range r.accessors {
+		a.ResetCounters()
+	}
+	var wg sync.WaitGroup
+	for i := range r.accessors {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kernel(&Ctx{acc: r.accessors[i], ID: i, NumThreads: len(r.accessors)})
+		}(i)
+	}
+	wg.Wait()
+	pr := PhaseResult{
+		Name:  name,
+		Stats: r.sys.ReducePhase(r.accessors),
+	}
+	r.phases = append(r.phases, pr)
+	return pr
+}
+
+// Phases returns the results of all phases run so far.
+func (r *Runtime) Phases() []PhaseResult { return r.phases }
