@@ -163,11 +163,11 @@ func registerCSR(rt *atmem.Runtime, g *graph.Graph, prefix string, withWeights b
 }
 
 // neighborSpan loads the CSR offsets of vertex v through the simulated
-// memory system and returns the edge index range.
+// memory system and returns the edge index range. The two adjacent
+// offsets are charged as one bulk sequential pair.
 func (d *csrData) neighborSpan(c *atmem.Ctx, v int) (lo, hi uint64) {
-	lo = d.offsets.Load(c, v)
-	hi = d.offsets.Load(c, v+1)
-	return lo, hi
+	off := d.offsets.LoadSeq(c, v, v+2)
+	return off[0], off[1]
 }
 
 // orFlags reduces per-thread change flags.

@@ -111,11 +111,10 @@ func (b *BC) RunIteration(rt *atmem.Runtime) IterationResult {
 			buf := bufs[c.ID][:0]
 			nextBase := c.ID * (n / threads)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(b.front.Load(c, idx))
+			for _, fv := range b.front.LoadSeq(c, lo, hi) {
+				v := int(fv)
 				elo, ehi := b.out.neighborSpan(c, v)
-				for i := elo; i < ehi; i++ {
-					dst := b.out.edges.Load(c, int(i))
+				for _, dst := range b.out.edges.LoadSeq(c, int(elo), int(ehi)) {
 					work++
 					b.lvl.SimLoad(c, int(dst))
 					if atomic.LoadInt32(&lvl[dst]) != -1 {
@@ -153,12 +152,11 @@ func (b *BC) RunIteration(rt *atmem.Runtime) IterationResult {
 		res.add(rt.RunPhase(fmt.Sprintf("bc.sigma%d", d), func(c *atmem.Ctx) {
 			lo, hi := c.Range(frontLen)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(b.front.Load(c, idx))
+			for _, fv := range b.front.LoadSeq(c, lo, hi) {
+				v := int(fv)
 				elo, ehi := b.in.neighborSpan(c, v)
 				sum := 0.0
-				for i := elo; i < ehi; i++ {
-					u := b.in.edges.Load(c, int(i))
+				for _, u := range b.in.edges.LoadSeq(c, int(elo), int(ehi)) {
 					work += 2
 					if b.lvl.Load(c, int(u)) == depth-1 {
 						sum += b.sigma.Load(c, int(u))
@@ -179,16 +177,15 @@ func (b *BC) RunIteration(rt *atmem.Runtime) IterationResult {
 		res.add(rt.RunPhase(fmt.Sprintf("bc.delta%d", d), func(c *atmem.Ctx) {
 			lo, hi := c.Range(frontLen)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(b.front.Load(c, idx))
+			for _, fv := range b.front.LoadSeq(c, lo, hi) {
+				v := int(fv)
 				sv := b.sigma.Load(c, v)
 				if sv == 0 {
 					continue
 				}
 				elo, ehi := b.out.neighborSpan(c, v)
 				sum := 0.0
-				for i := elo; i < ehi; i++ {
-					w := b.out.edges.Load(c, int(i))
+				for _, w := range b.out.edges.LoadSeq(c, int(elo), int(ehi)) {
 					work += 2
 					if b.lvl.Load(c, int(w)) == depth+1 {
 						sw := b.sigma.Load(c, int(w))

@@ -89,11 +89,11 @@ func (b *BFS) RunIteration(rt *atmem.Runtime) IterationResult {
 			// Appends land in this thread's share of the next array.
 			nextBase := c.ID * (n / threads)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(b.frontier.Load(c, idx))
+			front := b.frontier.LoadSeq(c, lo, hi)
+			for _, fv := range front {
+				v := int(fv)
 				elo, ehi := b.csr.neighborSpan(c, v)
-				for i := elo; i < ehi; i++ {
-					dst := b.csr.edges.Load(c, int(i))
+				for _, dst := range b.csr.edges.LoadSeq(c, int(elo), int(ehi)) {
 					work++
 					b.lvl.SimLoad(c, int(dst))
 					if atomic.LoadInt32(&lvl[dst]) != -1 {

@@ -110,13 +110,13 @@ func (k *CC) RunIteration(rt *atmem.Runtime) IterationResult {
 			buf := bufs[c.ID][:0]
 			nextBase := c.ID * (n / threads)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(k.frontier.Load(c, idx))
+			front := k.frontier.LoadSeq(c, lo, hi)
+			for _, fv := range front {
+				v := int(fv)
 				k.label.SimLoad(c, v)
 				lv := atomic.LoadUint32(&labels[v])
 				elo, ehi := k.sym.neighborSpan(c, v)
-				for i := elo; i < ehi; i++ {
-					dst := k.sym.edges.Load(c, int(i))
+				for _, dst := range k.sym.edges.LoadSeq(c, int(elo), int(ehi)) {
 					work++
 					k.label.SimLoad(c, int(dst))
 					if !atomicMinUint32(&labels[dst], lv) {

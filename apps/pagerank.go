@@ -98,9 +98,7 @@ func (p *PageRank) RunIteration(rt *atmem.Runtime) IterationResult {
 		// Phase 1: reset next ranks to the teleport base (streaming).
 		res.add(rt.RunPhase("pr.reset", func(c *atmem.Ctx) {
 			lo, hi := c.Range(n)
-			for v := lo; v < hi; v++ {
-				p.nextRnk.Store(c, v, base)
-			}
+			p.nextRnk.FillSeq(c, lo, hi, base)
 			c.Compute(float64(hi - lo))
 		}))
 		// Phase 2: scatter contributions along out-edges (sequential
@@ -115,8 +113,7 @@ func (p *PageRank) RunIteration(rt *atmem.Runtime) IterationResult {
 					continue
 				}
 				contrib := p.Damping * p.rank.Load(c, v) / float64(deg)
-				for i := elo; i < ehi; i++ {
-					dst := p.csr.edges.Load(c, int(i))
+				for _, dst := range p.csr.edges.LoadSeq(c, int(elo), int(ehi)) {
 					p.nextRnk.SimLoad(c, int(dst))
 					p.nextRnk.SimStore(c, int(dst))
 					atomicAddFloat64(&nextBits[dst], contrib)

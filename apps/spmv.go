@@ -58,11 +58,11 @@ func (s *SpMV) RunIteration(rt *atmem.Runtime) IterationResult {
 		work := 0.0
 		for row := lo; row < hi; row++ {
 			elo, ehi := s.mat.neighborSpan(c, row)
+			cols := s.mat.edges.LoadSeq(c, int(elo), int(ehi))
+			vals := s.mat.weights.LoadSeq(c, int(elo), int(ehi))
 			sum := 0.0
-			for i := elo; i < ehi; i++ {
-				col := s.mat.edges.Load(c, int(i))
-				val := s.mat.weights.Load(c, int(i))
-				sum += float64(val) * s.x.Load(c, int(col))
+			for i, col := range cols {
+				sum += float64(vals[i]) * s.x.Load(c, int(col))
 				work += 2
 			}
 			s.y.Store(c, row, sum)
@@ -73,11 +73,8 @@ func (s *SpMV) RunIteration(rt *atmem.Runtime) IterationResult {
 	norms := make([]float64, rt.Threads())
 	res.add(rt.RunPhase("spmv.norm", func(c *atmem.Ctx) {
 		lo, hi := c.Range(n)
-		sum := 0.0
-		for i := lo; i < hi; i++ {
-			sum += math.Abs(s.y.Load(c, i))
-		}
-		norms[c.ID] = sum
+		norms[c.ID] = s.y.ReduceSeq(c, lo, hi, 0,
+			func(acc float64, v float64) float64 { return acc + math.Abs(v) })
 		c.Compute(float64(hi - lo))
 	}))
 	s.threads = rt.Threads()
@@ -91,8 +88,10 @@ func (s *SpMV) RunIteration(rt *atmem.Runtime) IterationResult {
 	scale := float64(n) / norm
 	res.add(rt.RunPhase("spmv.scale", func(c *atmem.Ctx) {
 		lo, hi := c.Range(n)
-		for i := lo; i < hi; i++ {
-			s.x.Store(c, i, s.y.Load(c, i)*scale)
+		ys := s.y.LoadSeq(c, lo, hi)
+		xs := s.x.StoreSeq(c, lo, hi)
+		for i, v := range ys {
+			xs[i] = v * scale
 		}
 		c.Compute(float64(hi - lo))
 	}))

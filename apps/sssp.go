@@ -128,13 +128,20 @@ func (s *SSSP) RunIteration(rt *atmem.Runtime) IterationResult {
 			buf := bufs[c.ID][:0]
 			nextBase := c.ID * (n / threads)
 			work := 0.0
-			for idx := lo; idx < hi; idx++ {
-				v := int(s.frontier.Load(c, idx))
-				dv := s.dist.Load(c, v)
+			front := s.frontier.LoadSeq(c, lo, hi)
+			for _, fv := range front {
+				v := int(fv)
+				// dist[v] may be lowered concurrently by another thread's
+				// relaxation; the atomic read keeps the race detector
+				// clean and any value read still converges to the same
+				// fixed point.
+				s.dist.SimLoad(c, v)
+				dv := math.Float32frombits(atomic.LoadUint32(&distBits[v]))
 				elo, ehi := s.csr.neighborSpan(c, v)
-				for i := elo; i < ehi; i++ {
-					dst := s.csr.edges.Load(c, int(i))
-					w := s.csr.weights.Load(c, int(i))
+				dsts := s.csr.edges.LoadSeq(c, int(elo), int(ehi))
+				ws := s.csr.weights.LoadSeq(c, int(elo), int(ehi))
+				for ei, dst := range dsts {
+					w := ws[ei]
 					work += 2
 					nd := dv + w
 					s.dist.SimLoad(c, int(dst))

@@ -121,6 +121,56 @@ func (c *Cache) AccessHint(line uint64, streaming bool) bool {
 	return false
 }
 
+// AccessSeq is the fused probe of the accessor fast path: it performs a
+// normal (MRU-insert) Access of line and, only when that access missed,
+// additionally reports whether the predecessor line (line-1) is resident
+// — the stream-detection question — in the same call. The predecessor
+// probe runs after the miss installs line, exactly as the unfused
+// Access + Contains(line-1) pair would, so cache state and counters are
+// bit-identical to the two-call sequence. For line 0 the predecessor is
+// reported absent. On a hit, prevResident is false and meaningless.
+func (c *Cache) AccessSeq(line uint64) (hit, prevResident bool) {
+	tag := line + 1
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	victim := set
+	oldest := ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.hits++
+			return true, false
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	if c.tags[victim] != 0 && c.OnEvict != nil {
+		c.OnEvict(c.tags[victim]-1, c.dirty[victim])
+	}
+	c.tags[victim] = tag
+	c.dirty[victim] = false
+	c.stamps[victim] = c.clock
+	c.misses++
+	if line == 0 {
+		return false, false
+	}
+	prevTag := line // (line-1)+1
+	prevSet := int((line-1)&c.setMask) * c.ways
+	for i := prevSet; i < prevSet+c.ways; i++ {
+		if c.tags[i] == prevTag {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// AddHits credits n hits that a caller short-circuited without walking
+// the cache (the accessor's same-line fast path, which is only taken
+// when the line is known-resident), keeping Hits() truthful.
+func (c *Cache) AddHits(n uint64) { c.hits += n }
+
 // MarkDirty flags the line as modified if present, so its eventual
 // eviction is reported as a writeback. Returns whether the line was
 // found.

@@ -36,7 +36,14 @@ const (
 
 func (pt *PageTable) grow(vpage uint64) {
 	if need := int(vpage) + 1; need > len(pt.pages) {
-		grown := make([]PageInfo, need*2)
+		// Grow geometrically from the current length, not from the
+		// requested index: doubling `need` would over-allocate 2x on
+		// every first touch of a high page.
+		newLen := 2 * len(pt.pages)
+		if newLen < need {
+			newLen = need
+		}
+		grown := make([]PageInfo, newLen)
 		copy(grown, pt.pages)
 		pt.pages = grown
 	}

@@ -112,6 +112,118 @@ func TestUnmap(t *testing.T) {
 	}
 }
 
+// Unmap must refuse to split a huge mapping: a range that starts or ends
+// mid-huge-page is rejected without modifying the table, while unmapping
+// whole huge pages succeeds.
+func TestUnmapHugeSplitRejected(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 2*HugePage, TierSlow, true); err != nil {
+		t.Fatal(err)
+	}
+	// Range ending mid-huge-page: covers the first huge page plus the
+	// leading 4 KiB pages of the second.
+	if err := pt.Unmap(0, HugePage+SmallPage); err == nil {
+		t.Error("unmap ending mid-huge-page accepted")
+	}
+	// Range starting mid-huge-page.
+	if err := pt.Unmap(SmallPage, HugePage); err == nil {
+		t.Error("unmap starting mid-huge-page accepted")
+	}
+	// Range entirely inside one huge page.
+	if err := pt.Unmap(SmallPage, 2*SmallPage); err == nil {
+		t.Error("unmap inside one huge page accepted")
+	}
+	// Failed unmaps must leave every page mapped and huge.
+	huge, total := pt.HugePages(0, 2*HugePage)
+	if huge != 2*PagesPerHuge || total != 2*PagesPerHuge {
+		t.Errorf("failed unmap mutated table: huge=%d total=%d", huge, total)
+	}
+	// Whole huge pages unmap cleanly.
+	if err := pt.Unmap(HugePage, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pt.TierOf(HugePage); ok {
+		t.Error("second huge page still mapped")
+	}
+	if pi := pt.Translate(0); !pi.Huge || pi.Tier != TierSlow {
+		t.Errorf("first huge page damaged: %+v", pi)
+	}
+}
+
+// Splinter expands partial ranges to whole-huge-page boundaries: a range
+// starting or ending mid-huge-page splinters every huge page it touches
+// and leaves neighbours intact.
+func TestSplinterBoundaryRanges(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		base, size uint64
+		wantSplit  [3]bool // which of the three huge pages end up split
+	}{
+		{"starts-mid-first", HugePage / 2, HugePage / 4, [3]bool{true, false, false}},
+		{"spans-mid-to-mid", HugePage / 2, HugePage, [3]bool{true, true, false}},
+		{"ends-mid-last", HugePage, HugePage + SmallPage, [3]bool{false, true, true}},
+		{"single-byte", 2*HugePage + 5, 1, [3]bool{false, false, true}},
+		{"zero-size", HugePage, 0, [3]bool{false, false, false}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pt := NewPageTable()
+			if err := pt.Map(0, 3*HugePage, TierSlow, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := pt.Splinter(tc.base, tc.size); err != nil {
+				t.Fatal(err)
+			}
+			for hp := uint64(0); hp < 3; hp++ {
+				got := !pt.Translate(hp * HugePage).Huge
+				if got != tc.wantSplit[hp] {
+					t.Errorf("huge page %d: split=%v, want %v", hp, got, tc.wantSplit[hp])
+				}
+				// Splintering never unmaps or retiers.
+				if tier, ok := pt.TierOf(hp * HugePage); !ok || tier != TierSlow {
+					t.Errorf("huge page %d: mapping damaged (ok=%v tier=%v)", hp, ok, tier)
+				}
+			}
+		})
+	}
+}
+
+// Splinter past the end of the table must not grow it or panic.
+func TestSplinterBeyondTable(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, HugePage, TierFast, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Splinter(0, 16*HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Translate(0).Huge {
+		t.Error("mapped huge page not splintered")
+	}
+}
+
+// grow must expand geometrically from the current length: repeated
+// first-touches of ascending high pages should not over-allocate 2x of
+// the touched index each time.
+func TestGrowGeometric(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, SmallPage, TierFast, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(1024*SmallPage, SmallPage, TierFast, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(pt.pages), 1025; got != want {
+		t.Errorf("grow to high page allocated %d entries, want %d (exact need)", got, want)
+	}
+	// A touch just past the end doubles instead of reallocating per page.
+	if err := pt.Map(1025*SmallPage, SmallPage, TierFast, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(pt.pages), 2050; got != want {
+		t.Errorf("incremental grow allocated %d entries, want %d (2x previous)", got, want)
+	}
+}
+
 // Property: Map then Translate agrees over every page of the range, and
 // TierOf is false outside it.
 func TestMapTranslateProperty(t *testing.T) {

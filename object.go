@@ -136,6 +136,50 @@ func (a *Array[T]) SimStore(c *Ctx, i int) {
 	c.acc.Store(a.Addr(i), uint32(a.elemSize))
 }
 
+// LoadSeq charges a sequential simulated read of elements [lo, hi) and
+// returns the backing subslice holding their values. The charge is
+// exactly equivalent to hi-lo individual Load calls (same cycles,
+// counters, and cache/TLB state) but is accounted per cache line, which
+// is what makes streaming kernels cheap to simulate. The returned slice
+// aliases the array's backing store; callers must treat it as read-only.
+func (a *Array[T]) LoadSeq(c *Ctx, lo, hi int) []T {
+	if hi > lo {
+		c.acc.LoadRange(a.Addr(lo), uint32(a.elemSize), hi-lo)
+	}
+	return a.elems[lo:hi:hi]
+}
+
+// StoreSeq charges a sequential simulated write of elements [lo, hi) and
+// returns the backing subslice for the caller to fill — the bulk
+// counterpart of hi-lo Store calls.
+func (a *Array[T]) StoreSeq(c *Ctx, lo, hi int) []T {
+	if hi > lo {
+		c.acc.StoreRange(a.Addr(lo), uint32(a.elemSize), hi-lo)
+	}
+	return a.elems[lo:hi:hi]
+}
+
+// FillSeq stores v into every element of [lo, hi) through the simulated
+// memory system (a charged, bulk variant of Fill).
+func (a *Array[T]) FillSeq(c *Ctx, lo, hi int, v T) {
+	dst := a.StoreSeq(c, lo, hi)
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// ReduceSeq folds f over elements [lo, hi) read sequentially through the
+// simulated memory system, starting from init. Accumulation order is
+// ascending index, so results are bit-identical to an element-at-a-time
+// loop.
+func (a *Array[T]) ReduceSeq(c *Ctx, lo, hi int, init float64, f func(acc float64, v T) float64) float64 {
+	acc := init
+	for _, v := range a.LoadSeq(c, lo, hi) {
+		acc = f(acc, v)
+	}
+	return acc
+}
+
 // Raw returns the backing slice for un-simulated access: initialization,
 // verification, and result extraction. Kernels being measured must go
 // through Load/Store instead.

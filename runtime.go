@@ -337,6 +337,18 @@ func (c *Ctx) Load(addr uint64, size uint32) { c.acc.Load(addr, size) }
 // Store simulates a raw write of size bytes at a virtual address.
 func (c *Ctx) Store(addr uint64, size uint32) { c.acc.Store(addr, size) }
 
+// LoadRange simulates count sequential raw reads of elemSize bytes
+// starting at addr, charged per cache line (see Accessor.LoadRange).
+func (c *Ctx) LoadRange(addr uint64, elemSize uint32, count int) {
+	c.acc.LoadRange(addr, elemSize, count)
+}
+
+// StoreRange simulates count sequential raw writes of elemSize bytes
+// starting at addr.
+func (c *Ctx) StoreRange(addr uint64, elemSize uint32, count int) {
+	c.acc.StoreRange(addr, elemSize, count)
+}
+
 // Range splits n work items into this thread's contiguous share,
 // returning [lo, hi).
 func (c *Ctx) Range(n int) (lo, hi int) {
