@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"atmem/internal/core"
+	"atmem/internal/faultinject"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -130,7 +131,19 @@ type Options struct {
 	// CapacityReserve holds back this many bytes of fast memory from
 	// the placement budget (staging headroom and "other tenants" in
 	// the shared-server scenario of §1). Default: one staging buffer.
+	// When the reserve consumes the entire remaining fast-tier
+	// capacity, Optimize does not run the analyzer or the migration
+	// engine at all: it returns an empty plan/report (SelectedBytes
+	// and BytesMoved zero) rather than an error — a fully-reserved
+	// tier is an operating condition, not a failure.
 	CapacityReserve uint64
+	// FaultSchedule, when non-nil, arms deterministic fault injection
+	// at the simulator's capacity-mutating operations (allocation,
+	// staging reservation, remap, huge-page splinter). Injected faults
+	// exercise the transactional migration path: Optimize degrades
+	// through rollback, staging-shrink retries, and region skips
+	// instead of failing. Inspect what fired via Runtime.FaultEvents.
+	FaultSchedule *faultinject.Schedule
 	// BandwidthAware enables the aggregate-bandwidth placement
 	// enhancement the paper sketches as future work (§9): on systems
 	// whose tiers have independent memory channels (KNL), deliberately

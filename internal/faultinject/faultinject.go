@@ -1,0 +1,181 @@
+// Package faultinject provides deterministic, schedule-driven fault
+// injection for the simulated memory system. A Schedule arms rules at
+// named fault points (the capacity-mutating operations of memsim.System);
+// an Injector evaluates the schedule at runtime and decides, per call,
+// whether the operation should fail before mutating any state.
+//
+// Two rule shapes cover the fault matrix the migration engines must
+// tolerate:
+//
+//   - nth-call rules fire exactly on the Nth invocation of an operation,
+//     which provokes a failure at a precise point of a migration plan
+//     (e.g. "the second Retier of this Optimize fails" — a mid-region
+//     remap fault);
+//   - probabilistic rules fire with a fixed probability per call, drawn
+//     from a seeded RNG, so randomized soak tests are reproducible from
+//     the seed alone.
+//
+// Injected errors always wrap ErrInjected; a rule may additionally carry
+// a cause (e.g. memsim.ErrNoCapacity) so callers exercising typed-error
+// handling see exactly the error chain a real failure would produce.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Op identifies one fault point of the simulated memory system.
+type Op string
+
+// The fault points wired into memsim.System. Each is checked on entry of
+// the corresponding operation, before any state changes, so an injected
+// failure is indistinguishable from the operation rejecting its inputs.
+const (
+	OpAlloc    Op = "Alloc"
+	OpReserve  Op = "Reserve"
+	OpRetier   Op = "Retier"
+	OpSplinter Op = "Splinter"
+)
+
+// Ops lists every fault point, for tests that sweep the full matrix.
+var Ops = []Op{OpAlloc, OpReserve, OpRetier, OpSplinter}
+
+// ErrInjected is the sentinel every injected fault wraps; detectable with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is one armed rule of a Schedule.
+type Fault struct {
+	// Op is the fault point this rule arms.
+	Op Op
+	// Nth, when non-zero, fires the rule on exactly the Nth call
+	// (1-based) of Op.
+	Nth uint64
+	// Prob, when non-zero, fires the rule with this probability on
+	// every call of Op, drawn from the schedule's seeded RNG.
+	Prob float64
+	// MaxFires bounds how many times this rule may fire; 0 means
+	// unlimited (nth-call rules naturally fire at most once).
+	MaxFires int
+	// Err, when non-nil, is wrapped into the injected error alongside
+	// ErrInjected, so errors.Is matches both. Use it to mimic a typed
+	// failure such as memsim.ErrNoCapacity.
+	Err error
+}
+
+// Schedule is a deterministic fault plan: a seed for the probabilistic
+// rules plus the armed rules themselves. The zero Schedule injects
+// nothing.
+type Schedule struct {
+	// Seed seeds the RNG behind probabilistic rules. Two injectors
+	// built from equal schedules observe identical fault sequences for
+	// the same call sequence.
+	Seed int64
+	// Faults are the armed rules.
+	Faults []Fault
+}
+
+// Event records one fired fault, for assertions and reports.
+type Event struct {
+	// Op is the fault point that failed.
+	Op Op
+	// Call is the 1-based call number of Op at which the rule fired.
+	Call uint64
+	// Rule indexes the schedule's Faults.
+	Rule int
+}
+
+// Injector evaluates a Schedule at runtime. It is safe for concurrent
+// use; note that under concurrent callers the call numbering (and hence
+// nth-call determinism) follows arrival order at the injector's lock.
+// The migration path calls it single-threaded.
+type Injector struct {
+	mu     sync.Mutex
+	sched  Schedule
+	rng    *rand.Rand
+	calls  map[Op]uint64
+	fires  []int
+	events []Event
+}
+
+// New builds an Injector for the schedule.
+func New(s Schedule) *Injector {
+	return &Injector{
+		sched: s,
+		rng:   rand.New(rand.NewSource(s.Seed)),
+		calls: make(map[Op]uint64),
+		fires: make([]int, len(s.Faults)),
+	}
+}
+
+// Check is the hook the simulated system calls on entry of each fault
+// point. It returns nil to let the operation proceed, or the injected
+// error the operation must fail with.
+func (in *Injector) Check(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[op]++
+	n := in.calls[op]
+	for i := range in.sched.Faults {
+		f := &in.sched.Faults[i]
+		if f.Op != op {
+			continue
+		}
+		if f.MaxFires > 0 && in.fires[i] >= f.MaxFires {
+			continue
+		}
+		hit := f.Nth > 0 && f.Nth == n
+		if !hit && f.Prob > 0 && in.rng.Float64() < f.Prob {
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		in.fires[i]++
+		in.events = append(in.events, Event{Op: op, Call: n, Rule: i})
+		if f.Err != nil {
+			return fmt.Errorf("%w: %s call %d: %w", ErrInjected, op, n, f.Err)
+		}
+		return fmt.Errorf("%w: %s call %d", ErrInjected, op, n)
+	}
+	return nil
+}
+
+// Calls returns how many times the fault point has been evaluated.
+func (in *Injector) Calls(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Events returns a copy of every fired fault so far, in firing order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Fired returns the total number of injected faults so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events)
+}
+
+// Reset clears call counters, fire counts, recorded events, and reseeds
+// the RNG, so one injector can replay its schedule from the start.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = rand.New(rand.NewSource(in.sched.Seed))
+	in.calls = make(map[Op]uint64)
+	for i := range in.fires {
+		in.fires[i] = 0
+	}
+	in.events = nil
+}

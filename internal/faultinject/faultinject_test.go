@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNthCallFiresExactlyOnce(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{{Op: OpReserve, Nth: 3}}})
+	for call := 1; call <= 6; call++ {
+		err := in.Check(OpReserve)
+		if call == 3 && err == nil {
+			t.Fatalf("call 3 did not fault")
+		}
+		if call != 3 && err != nil {
+			t.Fatalf("call %d faulted: %v", call, err)
+		}
+	}
+	if in.Fired() != 1 {
+		t.Errorf("fired %d times, want 1", in.Fired())
+	}
+	if in.Calls(OpReserve) != 6 {
+		t.Errorf("calls %d, want 6", in.Calls(OpReserve))
+	}
+}
+
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	cause := errors.New("capacity")
+	in := New(Schedule{Faults: []Fault{{Op: OpRetier, Nth: 1, Err: cause}}})
+	err := in.Check(OpRetier)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("errors.Is(err, ErrInjected) false: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("errors.Is(err, cause) false: %v", err)
+	}
+}
+
+func TestOpsDoNotInterfere(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{{Op: OpSplinter, Nth: 1}}})
+	if err := in.Check(OpAlloc); err != nil {
+		t.Fatalf("Alloc faulted: %v", err)
+	}
+	if err := in.Check(OpRetier); err != nil {
+		t.Fatalf("Retier faulted: %v", err)
+	}
+	if err := in.Check(OpSplinter); err == nil {
+		t.Fatal("Splinter call 1 did not fault")
+	}
+}
+
+func TestProbabilisticIsSeedDeterministic(t *testing.T) {
+	sched := Schedule{Seed: 42, Faults: []Fault{{Op: OpReserve, Prob: 0.5}}}
+	run := func() []bool {
+		in := New(sched)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Check(OpReserve) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between identical schedules", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob 0.5 fired %d/%d times; suspicious", fired, len(a))
+	}
+}
+
+func TestMaxFiresBoundsProbabilisticRule(t *testing.T) {
+	in := New(Schedule{Seed: 1, Faults: []Fault{{Op: OpAlloc, Prob: 1, MaxFires: 2}}})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Check(OpAlloc) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d, want 2", fired)
+	}
+}
+
+func TestResetReplaysSchedule(t *testing.T) {
+	in := New(Schedule{Seed: 7, Faults: []Fault{{Op: OpRetier, Nth: 2}, {Op: OpReserve, Prob: 0.3}}})
+	record := func() []Event {
+		for i := 0; i < 20; i++ {
+			in.Check(OpRetier)
+			in.Check(OpReserve)
+		}
+		return in.Events()
+	}
+	first := record()
+	in.Reset()
+	if in.Fired() != 0 || in.Calls(OpRetier) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	second := record()
+	if len(first) != len(second) {
+		t.Fatalf("replay fired %d events, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("event %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestZeroScheduleInjectsNothing(t *testing.T) {
+	in := New(Schedule{})
+	for _, op := range Ops {
+		for i := 0; i < 100; i++ {
+			if err := in.Check(op); err != nil {
+				t.Fatalf("%s: %v", op, err)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"atmem"
 	"atmem/apps"
 	"atmem/internal/core"
+	"atmem/internal/faultinject"
 )
 
 // TestbedID names one of the two simulated platforms.
@@ -54,12 +55,18 @@ type RunConfig struct {
 	// configurations skip it for speed after the base configuration
 	// validated).
 	SkipValidate bool
+	// FaultSchedule arms fault injection on the run's simulator (see
+	// atmem.Options.FaultSchedule); nil runs fault-free. FaultLabel
+	// must uniquely name a non-nil schedule — it is the schedule's
+	// identity in the memoization key.
+	FaultSchedule *faultinject.Schedule
+	FaultLabel    string
 }
 
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s",
 		c.Testbed, c.App, c.Dataset, c.Policy, c.Mechanism, c.Epsilon,
-		c.SamplePeriod, c.BandwidthAware, c.SkipValidate)
+		c.SamplePeriod, c.BandwidthAware, c.SkipValidate, c.FaultLabel)
 }
 
 // RunResult is the outcome of one benchmark run.
@@ -99,6 +106,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Mechanism:      cfg.Mechanism,
 		SamplePeriod:   cfg.SamplePeriod,
 		BandwidthAware: cfg.BandwidthAware,
+		FaultSchedule:  cfg.FaultSchedule,
 	}
 	if cfg.Epsilon > 0 {
 		ac := core.DefaultConfig()

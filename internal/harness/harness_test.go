@@ -171,7 +171,7 @@ func TestCSVRejectsCellsNeedingQuoting(t *testing.T) {
 }
 
 func TestExtensionExperimentsRegistered(t *testing.T) {
-	want := map[string]bool{"accuracy": false, "locality": false, "aggbw": false}
+	want := map[string]bool{"accuracy": false, "locality": false, "aggbw": false, "robustness": false}
 	for _, e := range ExtensionExperiments() {
 		if _, ok := want[e.ID]; !ok {
 			t.Errorf("unexpected extension %s", e.ID)
@@ -191,7 +191,7 @@ func TestExtensionExperimentsRegistered(t *testing.T) {
 		t.Error(err)
 	}
 	for _, e := range Experiments() {
-		if e.ID == "accuracy" || e.ID == "locality" || e.ID == "aggbw" {
+		if e.ID == "accuracy" || e.ID == "locality" || e.ID == "aggbw" || e.ID == "robustness" {
 			t.Errorf("extension %s leaked into the paper artifact set", e.ID)
 		}
 	}

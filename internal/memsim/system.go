@@ -1,9 +1,28 @@
 package memsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+
+	"atmem/internal/faultinject"
 )
+
+// ErrNoCapacity is the sentinel wrapped by every capacity-exhaustion
+// failure of the system (Alloc, AllocPrefer, Reserve, Retier), so callers
+// can distinguish "the tier is full" from structural errors with
+// errors.Is and degrade instead of aborting.
+var ErrNoCapacity = errors.New("memsim: out of capacity")
+
+// FaultHook is consulted on entry of the system's fault-pointed
+// operations (Alloc/AllocPrefer → OpAlloc, Reserve, Retier, Splinter). A
+// non-nil return makes the operation fail before mutating any state —
+// the contract fault-injection tests rely on. RestoreTiers, the
+// transactional rollback primitive, deliberately bypasses the hook: an
+// unwind path must not itself fault.
+type FaultHook interface {
+	Check(op faultinject.Op) error
+}
 
 // System is one simulated heterogeneous memory machine: a virtual address
 // space backed by two memory tiers. All mutating operations are
@@ -13,10 +32,12 @@ import (
 type System struct {
 	P SystemParams
 
-	mu     sync.Mutex
-	pt     *PageTable
-	nextVA uint64
-	used   [NumTiers]uint64
+	mu       sync.Mutex
+	pt       *PageTable
+	nextVA   uint64
+	used     [NumTiers]uint64 // bytes mapped in the page table
+	reserved [NumTiers]uint64 // bytes held by Reserve (staging buffers)
+	faults   FaultHook
 }
 
 // NewSystem builds a System from params. It panics if params are invalid,
@@ -35,6 +56,23 @@ func NewSystem(p SystemParams) *System {
 // PageTable exposes the system page table to migration engines.
 func (s *System) PageTable() *PageTable { return s.pt }
 
+// SetFaultHook attaches a fault hook (typically a *faultinject.Injector)
+// to the system's fault points. Pass nil to detach. Install it before
+// concurrent use; the hook itself must be safe for concurrent calls.
+func (s *System) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = h
+}
+
+// faultCheckLocked evaluates the fault hook for op; callers hold s.mu.
+func (s *System) faultCheckLocked(op faultinject.Op) error {
+	if s.faults == nil {
+		return nil
+	}
+	return s.faults.Check(op)
+}
+
 // RoundUp rounds size up to a multiple of align (a power of two).
 func RoundUp(size, align uint64) uint64 {
 	return (size + align - 1) &^ (align - 1)
@@ -51,15 +89,18 @@ func (s *System) Alloc(size uint64, t Tier) (uint64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultCheckLocked(faultinject.OpAlloc); err != nil {
+		return 0, err
+	}
 	huge := size >= HugePage
 	align := uint64(SmallPage)
 	if huge {
 		align = HugePage
 	}
 	mapped := RoundUp(size, align)
-	if s.used[t]+mapped > s.P.Tiers[t].CapacityBytes {
-		return 0, fmt.Errorf("memsim: tier %s out of capacity: used %d + %d > %d",
-			t, s.used[t], mapped, s.P.Tiers[t].CapacityBytes)
+	if s.committedLocked(t)+mapped > s.P.Tiers[t].CapacityBytes {
+		return 0, fmt.Errorf("%w: tier %s: used %d + %d > %d",
+			ErrNoCapacity, t, s.committedLocked(t), mapped, s.P.Tiers[t].CapacityBytes)
 	}
 	base := RoundUp(s.nextVA, HugePage) // huge-align every object's base
 	if err := s.pt.Map(base, mapped, t, huge); err != nil {
@@ -83,6 +124,9 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultCheckLocked(faultinject.OpAlloc); err != nil {
+		return 0, err
+	}
 	base := RoundUp(s.nextVA, HugePage)
 	huge := size >= HugePage
 
@@ -94,7 +138,7 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 			align = HugePage
 		}
 		aligned := RoundUp(size, align)
-		if s.used[t]+aligned > s.P.Tiers[t].CapacityBytes {
+		if s.committedLocked(t)+aligned > s.P.Tiers[t].CapacityBytes {
 			return false, nil
 		}
 		if err := s.pt.Map(base, aligned, t, huge); err != nil {
@@ -112,7 +156,7 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 	// full, the rest on the slow tier (both 4 KiB-mapped; a preferred
 	// policy cannot promise huge pages across the spill point).
 	mapped := RoundUp(size, SmallPage)
-	freeFast := (s.P.Tiers[TierFast].CapacityBytes - s.used[TierFast]) &^ (SmallPage - 1)
+	freeFast := (s.P.Tiers[TierFast].CapacityBytes - s.committedLocked(TierFast)) &^ (SmallPage - 1)
 	fastPart := mapped
 	if fastPart > freeFast {
 		fastPart = freeFast
@@ -123,9 +167,9 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 			return base, err
 		}
 	}
-	if s.used[TierSlow]+slowPart > s.P.Tiers[TierSlow].CapacityBytes {
-		return 0, fmt.Errorf("memsim: tier %s out of capacity for preferred spill of %d bytes",
-			TierSlow, slowPart)
+	if s.committedLocked(TierSlow)+slowPart > s.P.Tiers[TierSlow].CapacityBytes {
+		return 0, fmt.Errorf("%w: tier %s: preferred spill of %d bytes",
+			ErrNoCapacity, TierSlow, slowPart)
 	}
 	if fastPart > 0 {
 		if err := s.pt.Map(base, fastPart, TierFast, false); err != nil {
@@ -175,6 +219,9 @@ func (s *System) Free(base, size uint64) error {
 func (s *System) Retier(base, size uint64, t Tier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultCheckLocked(faultinject.OpRetier); err != nil {
+		return err
+	}
 	return s.retierLocked(base, size, t)
 }
 
@@ -193,8 +240,8 @@ func (s *System) retierLocked(base, size uint64, t Tier) error {
 			moving += SmallPage
 		}
 	}
-	if s.used[t]+moving > s.P.Tiers[t].CapacityBytes {
-		return fmt.Errorf("memsim: tier %s out of capacity for retier of %d bytes", t, moving)
+	if s.committedLocked(t)+moving > s.P.Tiers[t].CapacityBytes {
+		return fmt.Errorf("%w: tier %s: retier of %d bytes", ErrNoCapacity, t, moving)
 	}
 	for i := first; i < first+n; i++ {
 		if s.pt.pages[i].Tier != t {
@@ -211,7 +258,16 @@ func (s *System) retierLocked(base, size uint64, t Tier) error {
 func (s *System) Splinter(base, size uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultCheckLocked(faultinject.OpSplinter); err != nil {
+		return err
+	}
 	return s.pt.Splinter(base, size)
+}
+
+// committedLocked is the capacity charge against tier t: mapped bytes
+// plus outstanding reservations. Callers hold s.mu.
+func (s *System) committedLocked(t Tier) uint64 {
+	return s.used[t] + s.reserved[t]
 }
 
 // Reserve charges size bytes against tier t without mapping anything —
@@ -220,10 +276,13 @@ func (s *System) Splinter(base, size uint64) error {
 func (s *System) Reserve(size uint64, t Tier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.used[t]+size > s.P.Tiers[t].CapacityBytes {
-		return fmt.Errorf("memsim: tier %s out of capacity for %d-byte reservation", t, size)
+	if err := s.faultCheckLocked(faultinject.OpReserve); err != nil {
+		return err
 	}
-	s.used[t] += size
+	if s.committedLocked(t)+size > s.P.Tiers[t].CapacityBytes {
+		return fmt.Errorf("%w: tier %s: %d-byte reservation", ErrNoCapacity, t, size)
+	}
+	s.reserved[t] += size
 	return nil
 }
 
@@ -231,24 +290,33 @@ func (s *System) Reserve(size uint64, t Tier) error {
 func (s *System) Unreserve(size uint64, t Tier) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.used[t] < size {
+	if s.reserved[t] < size {
 		panic("memsim: Unreserve below zero")
 	}
-	s.used[t] -= size
+	s.reserved[t] -= size
 }
 
 // Used returns the bytes currently mapped or reserved on tier t.
 func (s *System) Used(t Tier) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.used[t]
+	return s.committedLocked(t)
+}
+
+// Reserved returns the bytes currently held by Reserve on tier t. After
+// a completed migration it must be zero — the no-leaked-reservations
+// invariant the runtime's post-migration checker enforces.
+func (s *System) Reserved(t Tier) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reserved[t]
 }
 
 // Free capacity remaining on tier t.
 func (s *System) FreeCapacity(t Tier) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.P.Tiers[t].CapacityBytes - s.used[t]
+	return s.P.Tiers[t].CapacityBytes - s.committedLocked(t)
 }
 
 // TierOf returns the tier currently backing addr.
@@ -285,4 +353,81 @@ func (s *System) BytesOnTier(base, size uint64) [NumTiers]uint64 {
 		out[pi.Tier] += hi - lo
 	}
 	return out
+}
+
+// TierSnapshot captures the tier of every 4 KiB page of the page-aligned
+// range [base, base+size), in address order — the undo log a
+// transactional migration takes before remapping a region.
+func (s *System) TierSnapshot(base, size uint64) ([]Tier, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base%SmallPage != 0 || size%SmallPage != 0 {
+		return nil, fmt.Errorf("memsim: TierSnapshot [%#x,+%#x) not page-aligned", base, size)
+	}
+	first, n := base>>smallShift, size>>smallShift
+	out := make([]Tier, n)
+	for i := uint64(0); i < n; i++ {
+		pi, err := s.pt.lookup(first + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pi.Tier
+	}
+	return out, nil
+}
+
+// RestoreTiers reverts the pages starting at base to a TierSnapshot
+// prefix: page i of the range returns to tiers[i]. It is the rollback
+// primitive of the transactional migration engines, so it deliberately
+// bypasses the fault hook (an unwind path must not itself fault) and
+// performs no capacity check: restoring a snapshot only returns bytes to
+// tiers they were charged to when the snapshot was taken, which cannot
+// exceed capacity while the migration holds the system single-threaded.
+func (s *System) RestoreTiers(base uint64, tiers []Tier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base%SmallPage != 0 {
+		return fmt.Errorf("memsim: RestoreTiers base %#x not page-aligned", base)
+	}
+	first := base >> smallShift
+	for i := range tiers {
+		if _, err := s.pt.lookup(first + uint64(i)); err != nil {
+			return err
+		}
+	}
+	for i, t := range tiers {
+		pi := &s.pt.pages[first+uint64(i)]
+		if pi.Tier != t {
+			s.used[pi.Tier] -= SmallPage
+			s.used[t] += SmallPage
+			pi.Tier = t
+		}
+	}
+	return nil
+}
+
+// CheckConsistency verifies the capacity-accounting invariants: the page
+// table's per-tier mapped-byte totals match the used ledger, and no tier
+// is committed beyond its capacity. The runtime's post-migration
+// invariant checker calls it after every Optimize.
+func (s *System) CheckConsistency() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var mapped [NumTiers]uint64
+	for i := range s.pt.pages {
+		if s.pt.pages[i].Mapped {
+			mapped[s.pt.pages[i].Tier] += SmallPage
+		}
+	}
+	for t := Tier(0); t < NumTiers; t++ {
+		if mapped[t] != s.used[t] {
+			return fmt.Errorf("memsim: tier %s accounting drift: page table maps %d bytes, ledger says %d",
+				t, mapped[t], s.used[t])
+		}
+		if s.committedLocked(t) > s.P.Tiers[t].CapacityBytes {
+			return fmt.Errorf("memsim: tier %s over-committed: %d mapped + %d reserved > %d capacity",
+				t, s.used[t], s.reserved[t], s.P.Tiers[t].CapacityBytes)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 
 	"atmem/internal/memsim"
@@ -29,6 +30,13 @@ func (e *ATMemEngine) Name() string { return "atmem" }
 // values back in parallel. Data crosses the inter-memory link once and
 // moves once more within the target memory, exactly the two transfers the
 // paper describes.
+//
+// Migration is transactional per region: a mid-region failure (staging
+// reservation, remap) restores the region's pre-migration tier snapshot,
+// then walks the degradation ladder — retry with the staging buffer
+// halved, down to a single small page, and finally skip the region and
+// continue with the rest of the plan. Skipped regions carry their last
+// error in the Stats outcomes; only a failed rollback aborts the run.
 func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
 	p := &sys.P
 	threads := e.Threads
@@ -48,50 +56,118 @@ func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		st.BytesRequested += r.Size
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
+			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
 			continue
 		}
-		src := target.Other()
-
-		// Boundary huge pages not fully covered by the region must be
-		// split before a partial remap is possible; interior huge
-		// mappings are remapped wholesale and stay huge.
-		split, err := splitBoundaryHugePages(sys, r)
+		out, err := e.migrateRegion(sys, r, target, staging, threads, &st)
+		st.recordOutcome(out)
 		if err != nil {
 			return st, err
 		}
-		st.HugePagesSplit += split
-
-		for off := uint64(0); off < r.Size; off += staging {
-			slice := staging
-			if off+slice > r.Size {
-				slice = r.Size - off
-			}
-			if err := sys.Reserve(slice, target); err != nil {
-				return st, fmt.Errorf("migrate/atmem: staging buffer: %w", err)
-			}
-			// Stage 1: parallel copy source region -> staging buffer
-			// (staging lives on the target memory, Figure 4a).
-			st.Seconds += copySeconds(p, slice, src, target, threads)
-			// Stage 2: remap the virtual pages onto empty target
-			// pages (no data moves, Figure 4b).
-			if err := sys.Retier(r.Base+off, slice, target); err != nil {
-				sys.Unreserve(slice, target)
-				return st, fmt.Errorf("migrate/atmem: remap: %w", err)
-			}
-			st.Seconds += p.RemapNSPerRegion * 1e-9
-			// One shootdown per remapped slice: every thread's stale
-			// translation of the region must be dropped once.
-			st.Seconds += p.TLBShootdownNS * 1e-9
-			st.TLBShootdowns++
-			// Stage 3: parallel copy staging buffer -> remapped
-			// region, entirely within the target memory (Figure 4c).
-			st.Seconds += copySeconds(p, slice, target, target, threads)
-			sys.Unreserve(slice, target)
+		if out.Outcome != OutcomeSkipped {
+			st.BytesMoved += moving
+			st.PagesMoved += int(moving / memsim.SmallPage)
+			st.Moved = append(st.Moved, r)
 		}
-		st.BytesMoved += moving
-		st.PagesMoved += int(moving / memsim.SmallPage)
 	}
 	return st, nil
+}
+
+// migrateRegion drives one region down the degradation ladder: attempt
+// the multi-stage copy at the given staging size; on failure (after the
+// attempt rolled itself back) halve the staging buffer — a smaller
+// transient reservation fits a tighter target tier — down to one small
+// page, then give up and leave the region in its original placement.
+func (e *ATMemEngine) migrateRegion(sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) (RegionOutcome, error) {
+	out := RegionOutcome{Region: r}
+	for stg := staging; ; {
+		out.Attempts++
+		err := e.attemptRegion(sys, r, target, stg, threads, st)
+		if err == nil {
+			if out.Attempts > 1 {
+				out.Outcome = OutcomeRetried
+			}
+			return out, nil
+		}
+		out.Err = err
+		if errors.Is(err, ErrRollback) {
+			return out, err
+		}
+		if stg <= memsim.SmallPage {
+			out.Outcome = OutcomeSkipped
+			return out, nil
+		}
+		stg = memsim.RoundUp(stg/2, memsim.SmallPage)
+	}
+}
+
+// attemptRegion runs one transactional migration attempt: it snapshots
+// the region's tiers, then either completes every staging slice or
+// restores the snapshot for the slices already remapped before returning
+// the failure. Boundary huge pages split by a failed attempt are not
+// re-merged — collapsing THPs back is khugepaged's job, not the unwind
+// path's — which only costs TLB reach, never consistency.
+func (e *ATMemEngine) attemptRegion(sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) error {
+	p := &sys.P
+	src := target.Other()
+	snap, err := sys.TierSnapshot(r.Base, r.Size)
+	if err != nil {
+		return err
+	}
+
+	// rollback restores the already-remapped prefix [r.Base, r.Base+done)
+	// to its snapshot and returns cause; the restore is one batched
+	// remap plus one shootdown. A failed restore is unrecoverable.
+	rollback := func(done uint64, cause error) error {
+		if done == 0 {
+			return cause
+		}
+		if rerr := sys.RestoreTiers(r.Base, snap[:done/memsim.SmallPage]); rerr != nil {
+			return fmt.Errorf("%w: %v (while handling: %v)", ErrRollback, rerr, cause)
+		}
+		st.Seconds += p.RemapNSPerRegion * 1e-9
+		st.Seconds += p.TLBShootdownNS * 1e-9
+		st.TLBShootdowns++
+		return cause
+	}
+
+	// Boundary huge pages not fully covered by the region must be
+	// split before a partial remap is possible; interior huge
+	// mappings are remapped wholesale and stay huge.
+	split, err := splitBoundaryHugePages(sys, r)
+	st.HugePagesSplit += split
+	if err != nil {
+		return err // nothing remapped yet, nothing to roll back
+	}
+
+	for off := uint64(0); off < r.Size; off += staging {
+		slice := staging
+		if off+slice > r.Size {
+			slice = r.Size - off
+		}
+		if err := sys.Reserve(slice, target); err != nil {
+			return rollback(off, fmt.Errorf("%w: %w", ErrStaging, err))
+		}
+		// Stage 1: parallel copy source region -> staging buffer
+		// (staging lives on the target memory, Figure 4a).
+		st.Seconds += copySeconds(p, slice, src, target, threads)
+		// Stage 2: remap the virtual pages onto empty target
+		// pages (no data moves, Figure 4b).
+		if err := sys.Retier(r.Base+off, slice, target); err != nil {
+			sys.Unreserve(slice, target)
+			return rollback(off, fmt.Errorf("migrate/atmem: remap: %w", err))
+		}
+		st.Seconds += p.RemapNSPerRegion * 1e-9
+		// One shootdown per remapped slice: every thread's stale
+		// translation of the region must be dropped once.
+		st.Seconds += p.TLBShootdownNS * 1e-9
+		st.TLBShootdowns++
+		// Stage 3: parallel copy staging buffer -> remapped
+		// region, entirely within the target memory (Figure 4c).
+		st.Seconds += copySeconds(p, slice, target, target, threads)
+		sys.Unreserve(slice, target)
+	}
+	return nil
 }
 
 // splitBoundaryHugePages splinters the huge mappings that the region only

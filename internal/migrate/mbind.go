@@ -22,7 +22,14 @@ type MbindEngine struct {
 // Name implements Engine.
 func (e *MbindEngine) Name() string { return "mbind" }
 
-// Migrate implements Engine.
+// Migrate implements Engine. The kernel service is transactional per
+// region by construction: the whole-region retier validates capacity
+// before touching any page, so a failure leaves the region exactly where
+// it was. Its degradation ladder has no staging buffer to shrink — a
+// failed region gets one syscall-style retry and is then skipped, with
+// the rest of the plan continuing. Huge pages splintered before a failed
+// retier stay splintered, as they would under a real aborted
+// migrate_pages.
 func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
 	p := &sys.P
 	batch := e.ShootdownBatchPages
@@ -36,25 +43,34 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		st.BytesRequested += r.Size
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
+			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
 			continue
 		}
 		src := target.Other()
 
-		// The kernel path cannot migrate a THP as a unit here: every
-		// huge mapping the range touches is split first.
-		hugeBefore, _ := sys.PageTable().HugePages(r.Base, r.Size)
-		if err := sys.Splinter(r.Base, r.Size); err != nil {
-			return st, err
+		out := RegionOutcome{Region: r}
+		var ferr error
+		for attempt := 0; attempt < 2; attempt++ {
+			out.Attempts++
+			if ferr = e.attemptRegion(sys, r, target, &st); ferr == nil {
+				break
+			}
 		}
-		st.HugePagesSplit += hugeBefore / memsim.PagesPerHuge
-
-		if err := sys.Retier(r.Base, r.Size, target); err != nil {
-			return st, fmt.Errorf("migrate/mbind: %w", err)
+		if ferr != nil {
+			out.Outcome = OutcomeSkipped
+			out.Err = ferr
+			st.recordOutcome(out)
+			continue
 		}
+		if out.Attempts > 1 {
+			out.Outcome = OutcomeRetried
+		}
+		st.recordOutcome(out)
 
 		pages := int(moving / memsim.SmallPage)
 		st.PagesMoved += pages
 		st.BytesMoved += moving
+		st.Moved = append(st.Moved, r)
 
 		// Per-page syscall/bookkeeping cost, single-threaded copy.
 		st.Seconds += float64(pages) * p.SyscallNSPerPage * 1e-9
@@ -65,6 +81,21 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		st.Seconds += float64(shootdowns) * p.TLBShootdownNS * 1e-9
 	}
 	return st, nil
+}
+
+// attemptRegion is one kernel-style migration attempt: splinter every
+// huge mapping the range touches (the kernel path cannot migrate a THP
+// as a unit), then retier the whole region atomically.
+func (e *MbindEngine) attemptRegion(sys *memsim.System, r Region, target memsim.Tier, st *Stats) error {
+	hugeBefore, _ := sys.PageTable().HugePages(r.Base, r.Size)
+	if err := sys.Splinter(r.Base, r.Size); err != nil {
+		return err
+	}
+	st.HugePagesSplit += hugeBefore / memsim.PagesPerHuge
+	if err := sys.Retier(r.Base, r.Size, target); err != nil {
+		return fmt.Errorf("migrate/mbind: %w", err)
+	}
+	return nil
 }
 
 // copySecondsSingle is the single-threaded kernel copy: one thread's

@@ -20,13 +20,68 @@
 package migrate
 
 import (
+	"errors"
+	"fmt"
+
 	"atmem/internal/memsim"
 )
+
+// ErrStaging marks a staging-buffer reservation failure during the ATMem
+// engine's multi-stage copy. It is wrapped alongside the underlying
+// cause, so errors.Is distinguishes both the stage that failed
+// (ErrStaging) and why (e.g. memsim.ErrNoCapacity).
+var ErrStaging = errors.New("migrate: staging reservation failed")
+
+// ErrRollback marks an unrecoverable failure while unwinding a partially
+// remapped region. It is the only per-region condition Migrate surfaces
+// as an error rather than a skipped outcome: a failed rollback means the
+// system may be inconsistent and the caller must not continue.
+var ErrRollback = errors.New("migrate: rollback failed")
 
 // Region is one contiguous virtual byte range to migrate.
 type Region struct {
 	Base uint64
 	Size uint64
+}
+
+// Outcome classifies how one region fared under the transactional
+// migration protocol.
+type Outcome int
+
+const (
+	// OutcomeMigrated: the region moved (or already resided) on the
+	// target tier on the first attempt.
+	OutcomeMigrated Outcome = iota
+	// OutcomeRetried: at least one attempt failed and was rolled back,
+	// but a retry further down the degradation ladder succeeded.
+	OutcomeRetried
+	// OutcomeSkipped: every rung of the ladder failed; the region was
+	// rolled back to its pre-migration placement and left behind.
+	OutcomeSkipped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMigrated:
+		return "migrated"
+	case OutcomeRetried:
+		return "retried"
+	case OutcomeSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// RegionOutcome reports the fate of one input region.
+type RegionOutcome struct {
+	// Region is the page-aligned region as migrated.
+	Region Region
+	// Outcome classifies the result.
+	Outcome Outcome
+	// Attempts counts migration attempts (1 = succeeded first try).
+	Attempts int
+	// Err is the last failure for skipped regions, nil otherwise.
+	Err error
 }
 
 // Stats reports one migration run.
@@ -47,17 +102,48 @@ type Stats struct {
 	HugePagesSplit int
 	// TLBShootdowns counts modelled inter-processor shootdowns.
 	TLBShootdowns int
+	// RegionsMigrated, RegionsRetried, and RegionsSkipped classify the
+	// per-region outcomes of the transactional protocol; they sum to
+	// Regions.
+	RegionsMigrated int
+	RegionsRetried  int
+	RegionsSkipped  int
+	// Outcomes records each region's fate in input order.
+	Outcomes []RegionOutcome
+	// Moved lists the page ranges whose remap committed — exactly the
+	// ranges whose stale TLB and cache entries the caller must
+	// invalidate. Rolled-back and skipped regions do not appear.
+	Moved []Region
+}
+
+// recordOutcome appends out and maintains the per-outcome counters.
+func (st *Stats) recordOutcome(out RegionOutcome) {
+	st.Outcomes = append(st.Outcomes, out)
+	switch out.Outcome {
+	case OutcomeRetried:
+		st.RegionsRetried++
+	case OutcomeSkipped:
+		st.RegionsSkipped++
+	default:
+		st.RegionsMigrated++
+	}
 }
 
 // Engine migrates regions to the target tier on a system.
 type Engine interface {
 	// Name identifies the engine ("atmem" or "mbind").
 	Name() string
-	// Migrate moves every page of the given regions to the target
-	// tier and returns timing and accounting. Regions are page-aligned
-	// outward before moving. Migration is all-or-nothing per region:
-	// a capacity failure aborts with the already-migrated regions in
-	// place and an error describing the failure.
+	// Migrate moves every page of the given regions to the target tier
+	// and returns timing and accounting. Regions are page-aligned
+	// outward before moving. Migration is transactional per region: a
+	// mid-region failure rolls the region back to its pre-migration
+	// placement, walks the engine's degradation ladder (retry with a
+	// smaller staging buffer, then skip), and continues with the rest
+	// of the plan — recoverable faults are reported as per-region
+	// Outcomes, not as an error. Migrate returns an error only for
+	// unrecoverable conditions (a failed rollback, wrapping
+	// ErrRollback), after which the system must be considered
+	// inconsistent.
 	Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error)
 }
 

@@ -1,9 +1,12 @@
 package migrate
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"atmem/internal/faultinject"
 	"atmem/internal/memsim"
 )
 
@@ -184,7 +187,10 @@ func TestStagingBufferRespectsCapacity(t *testing.T) {
 	}
 }
 
-func TestMigrationFailsWhenTargetFull(t *testing.T) {
+func TestMigrationDegradesWhenTargetFull(t *testing.T) {
+	// A region that cannot fit on the target tier is no longer a fatal
+	// error: the engine walks its degradation ladder, rolls the region
+	// back, and reports it skipped.
 	p := memsim.NVMDRAMParams()
 	p.Tiers[memsim.TierFast].CapacityBytes = 1 * memsim.MiB
 	for _, e := range engines() {
@@ -193,8 +199,26 @@ func TestMigrationFailsWhenTargetFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.MiB}}, memsim.TierFast); err == nil {
-			t.Errorf("%s: over-capacity migration accepted", e.Name())
+		st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.MiB}}, memsim.TierFast)
+		if err != nil {
+			t.Fatalf("%s: over-capacity migration errored instead of degrading: %v", e.Name(), err)
+		}
+		if st.RegionsSkipped != 1 || st.BytesMoved != 0 || len(st.Moved) != 0 {
+			t.Errorf("%s: skipped=%d moved=%d, want a clean skip", e.Name(), st.RegionsSkipped, st.BytesMoved)
+		}
+		if len(st.Outcomes) != 1 || st.Outcomes[0].Outcome != OutcomeSkipped || st.Outcomes[0].Err == nil {
+			t.Errorf("%s: outcomes %+v", e.Name(), st.Outcomes)
+		}
+		if !errors.Is(st.Outcomes[0].Err, memsim.ErrNoCapacity) {
+			t.Errorf("%s: skip error %v does not wrap ErrNoCapacity", e.Name(), st.Outcomes[0].Err)
+		}
+		// Everything rolled back: region intact on the slow tier, no
+		// reservation leaked.
+		if on := s.BytesOnTier(base, 8*memsim.MiB); on[memsim.TierSlow] != 8*memsim.MiB {
+			t.Errorf("%s: placement after skip %v", e.Name(), on)
+		}
+		if res := s.Reserved(memsim.TierFast); res != 0 {
+			t.Errorf("%s: leaked %d reserved bytes", e.Name(), res)
 		}
 	}
 }
@@ -250,5 +274,246 @@ func TestMigrationPreservesMappingTotality(t *testing.T) {
 func TestEngineNames(t *testing.T) {
 	if (&ATMemEngine{}).Name() != "atmem" || (&MbindEngine{}).Name() != "mbind" {
 		t.Error("unexpected engine names")
+	}
+}
+
+func TestFaultMidRegionRetierRollsBackAndRetries(t *testing.T) {
+	// The second remap of the run fails: the first slice must be rolled
+	// back, and the retry (one rung down the ladder) must complete the
+	// whole region.
+	s := testSystem(t)
+	base, err := s.Alloc(8*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Nth: 2}},
+	}))
+	e := &ATMemEngine{StagingBytes: 2 * memsim.SmallPage}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsRetried != 1 || st.RegionsSkipped != 0 {
+		t.Errorf("retried=%d skipped=%d, want 1/0", st.RegionsRetried, st.RegionsSkipped)
+	}
+	if len(st.Outcomes) != 1 || st.Outcomes[0].Attempts != 2 {
+		t.Errorf("outcomes %+v", st.Outcomes)
+	}
+	if on := s.BytesOnTier(base, 8*memsim.SmallPage); on[memsim.TierFast] != 8*memsim.SmallPage {
+		t.Errorf("placement after retry %v", on)
+	}
+	if st.BytesMoved != 8*memsim.SmallPage || len(st.Moved) != 1 {
+		t.Errorf("moved %d bytes, ranges %v", st.BytesMoved, st.Moved)
+	}
+	if s.Reserved(memsim.TierFast) != 0 {
+		t.Error("staging reservation leaked")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultStagingReserveWalksLadder(t *testing.T) {
+	// The first staging reservation fails; the ladder's halved retry
+	// succeeds, and the failure is typed as a staging fault.
+	s := testSystem(t)
+	base, err := s.Alloc(4*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpReserve, Nth: 1, Err: memsim.ErrNoCapacity}},
+	}))
+	e := &ATMemEngine{StagingBytes: 4 * memsim.SmallPage}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsRetried != 1 {
+		t.Fatalf("retried=%d, want 1 (outcomes %+v)", st.RegionsRetried, st.Outcomes)
+	}
+	if on := s.BytesOnTier(base, 4*memsim.SmallPage); on[memsim.TierFast] != 4*memsim.SmallPage {
+		t.Errorf("placement %v", on)
+	}
+}
+
+func TestFaultPersistentReserveSkipsRegion(t *testing.T) {
+	// Every staging reservation fails: the ladder bottoms out at one
+	// small page and the region is skipped with a typed error chain.
+	s := testSystem(t)
+	base, err := s.Alloc(4*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpReserve, Prob: 1}},
+	}))
+	e := &ATMemEngine{StagingBytes: 8 * memsim.SmallPage}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsSkipped != 1 || st.BytesMoved != 0 {
+		t.Fatalf("skipped=%d moved=%d (outcomes %+v)", st.RegionsSkipped, st.BytesMoved, st.Outcomes)
+	}
+	ferr := st.Outcomes[0].Err
+	if !errors.Is(ferr, ErrStaging) || !errors.Is(ferr, faultinject.ErrInjected) {
+		t.Errorf("skip error %v lacks ErrStaging/ErrInjected", ferr)
+	}
+	if on := s.BytesOnTier(base, 4*memsim.SmallPage); on[memsim.TierSlow] != 4*memsim.SmallPage {
+		t.Errorf("placement changed despite skip: %v", on)
+	}
+	if s.Reserved(memsim.TierFast) != 0 {
+		t.Error("staging reservation leaked")
+	}
+}
+
+func TestFaultRollbackRestoresMixedPlacement(t *testing.T) {
+	// A region that already has pages on the target tier must roll back
+	// to exactly that mixed placement, not to all-source.
+	s := testSystem(t)
+	base, err := s.Alloc(8*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base+2*memsim.SmallPage, 2*memsim.SmallPage, memsim.TierFast); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Prob: 1}},
+	}))
+	e := &ATMemEngine{StagingBytes: memsim.SmallPage}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsSkipped != 1 {
+		t.Fatalf("outcomes %+v", st.Outcomes)
+	}
+	on := s.BytesOnTier(base, 8*memsim.SmallPage)
+	if on[memsim.TierFast] != 2*memsim.SmallPage || on[memsim.TierSlow] != 6*memsim.SmallPage {
+		t.Errorf("mixed placement not restored: %v", on)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultSplinterSkipsUnalignedRegion(t *testing.T) {
+	// Boundary huge-page splits are a fault point too: an unaligned
+	// region whose splinters always fail must be skipped cleanly.
+	s := testSystem(t)
+	base, err := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpSplinter, Prob: 1}},
+	}))
+	e := &ATMemEngine{}
+	st, err := e.Migrate(s, []Region{{Base: base + memsim.HugePage/2, Size: memsim.HugePage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsSkipped != 1 || st.BytesMoved != 0 {
+		t.Fatalf("outcomes %+v", st.Outcomes)
+	}
+	if !errors.Is(st.Outcomes[0].Err, faultinject.ErrInjected) {
+		t.Errorf("skip error %v not injected", st.Outcomes[0].Err)
+	}
+	if huge, total := s.PageTable().HugePages(base, 4*memsim.HugePage); huge != total {
+		t.Errorf("failed splinter still split pages: %d/%d huge", huge, total)
+	}
+}
+
+func TestFaultMbindRetierRetriesOnce(t *testing.T) {
+	s := testSystem(t)
+	base, err := s.Alloc(memsim.HugePage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faultinject.New(faultinject.Schedule{
+		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Nth: 1}},
+	}))
+	e := &MbindEngine{}
+	st, err := e.Migrate(s, []Region{{Base: base, Size: memsim.HugePage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RegionsRetried != 1 || st.Outcomes[0].Attempts != 2 {
+		t.Fatalf("outcomes %+v", st.Outcomes)
+	}
+	if on := s.BytesOnTier(base, memsim.HugePage); on[memsim.TierFast] != memsim.HugePage {
+		t.Errorf("placement %v", on)
+	}
+}
+
+func TestFaultPlanContinuesPastSkippedRegion(t *testing.T) {
+	// A region that cannot fit is skipped; the rest of the plan still
+	// migrates, and Moved lists exactly the committed ranges.
+	p := memsim.NVMDRAMParams()
+	p.Tiers[memsim.TierFast].CapacityBytes = 1 * memsim.MiB
+	for _, e := range engines() {
+		s := memsim.NewSystem(p)
+		big, err := s.Alloc(4*memsim.MiB, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := s.Alloc(256*memsim.KiB, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.Migrate(s, []Region{
+			{Base: big, Size: 4 * memsim.MiB},
+			{Base: small, Size: 256 * memsim.KiB},
+		}, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.RegionsSkipped != 1 || st.RegionsMigrated != 1 {
+			t.Fatalf("%s: skipped=%d migrated=%d", e.Name(), st.RegionsSkipped, st.RegionsMigrated)
+		}
+		if st.BytesMoved != 256*memsim.KiB {
+			t.Errorf("%s: moved %d", e.Name(), st.BytesMoved)
+		}
+		if len(st.Moved) != 1 || st.Moved[0].Base != small {
+			t.Errorf("%s: moved ranges %v", e.Name(), st.Moved)
+		}
+		if on := s.BytesOnTier(small, 256*memsim.KiB); on[memsim.TierFast] != 256*memsim.KiB {
+			t.Errorf("%s: small region placement %v", e.Name(), on)
+		}
+		if s.Reserved(memsim.TierFast) != 0 {
+			t.Errorf("%s: reservation leak", e.Name())
+		}
+		if err := s.CheckConsistency(); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestFaultEmptyScheduleIsBitIdentical(t *testing.T) {
+	// An attached injector with an empty schedule must produce Stats
+	// bit-identical to a run with no hook at all.
+	run := func(hook bool) Stats {
+		s := testSystem(t)
+		base, err := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hook {
+			s.SetFaultHook(faultinject.New(faultinject.Schedule{}))
+		}
+		st, err := (&ATMemEngine{}).Migrate(s, []Region{
+			{Base: base + memsim.HugePage/2, Size: 2 * memsim.HugePage},
+		}, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(false), run(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stats diverge:\nno hook: %+v\nempty schedule: %+v", a, b)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"atmem/internal/memsim"
+	"atmem/internal/migrate"
 )
 
 // PhaseResult is the outcome of one RunPhase: the simulated execution
@@ -41,6 +42,16 @@ type MigrationReport struct {
 	HugePagesSplit int
 	// TLBShootdowns counts modelled shootdown IPIs.
 	TLBShootdowns int
+	// RegionsMigrated, RegionsRetried, and RegionsSkipped classify the
+	// per-region outcomes of the transactional migration: first-try
+	// successes, successes after the degradation ladder (rollback +
+	// staging-shrink retries), and regions left on their original tier
+	// after every rung failed. They sum to Regions.
+	RegionsMigrated int
+	RegionsRetried  int
+	RegionsSkipped  int
+	// SkippedBytes is the volume the skipped regions left behind.
+	SkippedBytes uint64
 	// TotalBytes is the registered data footprint.
 	TotalBytes uint64
 	// SelectedBytes is the plan's fast-memory selection.
@@ -61,10 +72,21 @@ func (m MigrationReport) DataRatio() float64 {
 	return float64(m.SelectedBytes) / float64(m.TotalBytes)
 }
 
+// Degraded reports whether any region needed the degradation ladder —
+// the migration completed, but not entirely on the first-try fast path.
+func (m MigrationReport) Degraded() bool {
+	return m.RegionsRetried > 0 || m.RegionsSkipped > 0
+}
+
 func (m MigrationReport) String() string {
-	return fmt.Sprintf("%s: moved %d bytes (%d regions, %d pages) in %.6fs; ratio %.3f (sampled %d + estimated %d)",
+	s := fmt.Sprintf("%s: moved %d bytes (%d regions, %d pages) in %.6fs; ratio %.3f (sampled %d + estimated %d)",
 		m.Engine, m.BytesMoved, m.Regions, m.PagesMoved, m.Seconds,
 		m.DataRatio(), m.SampledBytes, m.EstimatedBytes)
+	if m.Degraded() {
+		s += fmt.Sprintf("; degraded: %d retried, %d skipped (%d bytes left behind)",
+			m.RegionsRetried, m.RegionsSkipped, m.SkippedBytes)
+	}
+	return s
 }
 
 func (r *Runtime) migrationReport() MigrationReport {
@@ -77,6 +99,14 @@ func (r *Runtime) migrationReport() MigrationReport {
 		rep.Regions = r.migStats.Regions
 		rep.HugePagesSplit = r.migStats.HugePagesSplit
 		rep.TLBShootdowns = r.migStats.TLBShootdowns
+		rep.RegionsMigrated = r.migStats.RegionsMigrated
+		rep.RegionsRetried = r.migStats.RegionsRetried
+		rep.RegionsSkipped = r.migStats.RegionsSkipped
+		for _, out := range r.migStats.Outcomes {
+			if out.Outcome == migrate.OutcomeSkipped {
+				rep.SkippedBytes += out.Region.Size
+			}
+		}
 	}
 	if r.plan != nil {
 		rep.TotalBytes = r.plan.TotalBytes

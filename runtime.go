@@ -1,10 +1,13 @@
 package atmem
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"atmem/internal/core"
+	"atmem/internal/faultinject"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -25,6 +28,7 @@ type Runtime struct {
 	reg     *core.Registry
 	prof    *pebs.Profiler
 	engine  migrate.Engine
+	faults  *faultinject.Injector
 
 	objects   map[uint64]*Object
 	accessors []*memsim.Accessor
@@ -63,6 +67,10 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 		reg:     core.NewRegistry(o.Analyzer),
 		objects: make(map[uint64]*Object),
 	}
+	if o.FaultSchedule != nil {
+		r.faults = faultinject.New(*o.FaultSchedule)
+		r.sys.SetFaultHook(r.faults)
+	}
 	period := o.SamplePeriod
 	if period == 0 {
 		period = pebs.DefaultConfig().Period
@@ -92,6 +100,15 @@ func (r *Runtime) Threads() int { return len(r.accessors) }
 
 // System exposes the underlying simulator (for tests and the harness).
 func (r *Runtime) System() *memsim.System { return r.sys }
+
+// FaultEvents returns the faults injected so far under
+// Options.FaultSchedule, in firing order (nil without a schedule).
+func (r *Runtime) FaultEvents() []faultinject.Event {
+	if r.faults == nil {
+		return nil
+	}
+	return r.faults.Events()
+}
 
 // Registry exposes the data-object registry (for tests and the harness).
 func (r *Runtime) Registry() *core.Registry { return r.reg }
@@ -143,9 +160,12 @@ func (r *Runtime) Malloc(name string, size uint64) (*Object, error) {
 	do, err := r.reg.Register(name, base, size)
 	if err != nil {
 		// Roll the mapping back: registration failures must not leak
-		// address space.
+		// address space. A failed rollback is reported to the caller
+		// joined with the registration error, never as a crash.
 		if ferr := r.sys.Free(base, size); ferr != nil {
-			panic(ferr)
+			return nil, errors.Join(err,
+				fmt.Errorf("atmem: malloc %q: rollback of mapping [%#x,+%#x) failed: %w",
+					name, base, size, ferr))
 		}
 		return nil, err
 	}
@@ -269,19 +289,33 @@ func (r *Runtime) Manifest() []ObjectManifest {
 // over the attributed samples, then migrates the selected ranges onto the
 // high-performance memory with the configured engine. It returns the
 // migration statistics.
+//
+// Optimize consumes partial success: the engines are transactional per
+// region, so recoverable faults (capacity exhaustion, injected faults)
+// surface as retried/skipped counts in the MigrationReport, not as an
+// error. TLB and cache entries are invalidated for exactly the slices
+// whose remap committed — a region that failed and rolled back leaves
+// the threads' translations valid. After migration a post-condition
+// checker enforces the safety invariants (no leaked staging
+// reservations, page-table totals matching the capacity ledger, object
+// bytes bit-identical); a violation is a bug in the migration machinery
+// and is returned as an error.
 func (r *Runtime) Optimize() (MigrationReport, error) {
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
 	}
-	budget := r.sys.FreeCapacity(memsim.TierFast)
-	if budget > r.opts.CapacityReserve {
-		budget -= r.opts.CapacityReserve
-	} else {
-		// Fully reserved: a zero budget would mean "unlimited" to the
-		// analyzer, so pass the smallest non-zero budget, which clips
-		// the whole selection.
-		budget = 1
+	free := r.sys.FreeCapacity(memsim.TierFast)
+	if free <= r.opts.CapacityReserve {
+		// The reserve consumes the whole remaining fast tier: there is
+		// no placement budget, so skip the analyzer and migration
+		// entirely and report an empty plan (see
+		// Options.CapacityReserve).
+		r.plan = &core.Plan{TotalBytes: r.reg.TotalBytes()}
+		st := migrate.Stats{Engine: r.engine.Name()}
+		r.migStats = &st
+		return r.migrationReport(), nil
 	}
+	budget := free - r.opts.CapacityReserve
 	plan, err := core.Analyze(r.reg, r.prof.Config().Period, budget)
 	if err != nil {
 		return MigrationReport{}, err
@@ -297,21 +331,71 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 			regions = append(regions, migrate.Region{Base: rg.Base, Size: rg.Size})
 		}
 	}
+	pre := r.objectChecksums()
 	st, err := r.engine.Migrate(r.sys, regions, memsim.TierFast)
-	if err != nil {
-		return MigrationReport{}, fmt.Errorf("atmem: migration: %w", err)
-	}
 	r.migStats = &st
+	if err != nil {
+		// Only unrecoverable failures (a failed rollback) reach here;
+		// recoverable faults degraded into per-region outcomes.
+		return r.migrationReport(), fmt.Errorf("atmem: migration: %w", err)
+	}
 
 	// Both mechanisms invalidate the moved ranges from every thread's
 	// TLB (shootdown) and cache (lines now map to new physical pages).
+	// Only committed slices are stale: rolled-back and skipped regions
+	// kept their placement, so their translations stay valid.
 	for _, a := range r.accessors {
-		for _, rg := range regions {
+		for _, rg := range st.Moved {
 			a.InvalidateTLBRange(rg.Base, rg.Size)
 			a.InvalidateCacheRange(rg.Base, rg.Size)
 		}
 	}
+	if err := r.verifyMigrationInvariants(pre); err != nil {
+		return r.migrationReport(), fmt.Errorf("atmem: post-migration invariant violated: %w", err)
+	}
 	return r.migrationReport(), nil
+}
+
+// crcTable backs the object-data checksums of the migration invariant
+// checker; Castagnoli is hardware-accelerated on the platforms we run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// objectChecksums fingerprints every registered object's byte backing.
+func (r *Runtime) objectChecksums() map[uint64]uint32 {
+	out := make(map[uint64]uint32, len(r.objects))
+	for base, o := range r.objects {
+		if o.data != nil {
+			out[base] = crc32.Checksum(o.data, crcTable)
+		}
+	}
+	return out
+}
+
+// verifyMigrationInvariants is the post-migration checker: whatever mix
+// of migrated, retried, and skipped regions Optimize produced, the
+// system must hold the safety invariants — no staging reservation
+// outlives the migration, the page table and the capacity ledger agree,
+// and no object's bytes changed (migration remaps pages; it never edits
+// values).
+func (r *Runtime) verifyMigrationInvariants(pre map[uint64]uint32) error {
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		if res := r.sys.Reserved(t); res != 0 {
+			return fmt.Errorf("leaked %d reserved bytes on tier %s", res, t)
+		}
+	}
+	if err := r.sys.CheckConsistency(); err != nil {
+		return err
+	}
+	for base, want := range pre {
+		o, ok := r.objects[base]
+		if !ok || o.data == nil {
+			return fmt.Errorf("object at %#x vanished during migration", base)
+		}
+		if got := crc32.Checksum(o.data, crcTable); got != want {
+			return fmt.Errorf("object %q bytes changed during migration (crc %#x -> %#x)", o.name, want, got)
+		}
+	}
+	return nil
 }
 
 // Plan returns the analyzer's most recent placement plan (nil before the
