@@ -23,6 +23,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv, md, json")
 	verbose := flag.Bool("v", false, "print each underlying run")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traceDir := flag.String("trace", "", "record telemetry and write per-run trace artifacts into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atmem-bench [-format text|csv|md|json] [-v] <experiment>...|all\n\nexperiments ('all' runs the paper set; extensions run by id):\n")
 		for _, e := range harness.AllExperiments() {
@@ -58,6 +59,7 @@ func main() {
 
 	suite := harness.NewSuite()
 	suite.Verbose = *verbose
+	suite.TraceDir = *traceDir
 	for _, e := range exps {
 		reports, err := e.Run(suite)
 		if err != nil {

@@ -7,6 +7,13 @@
 //	atmem-bench -format json fig5 > results.json
 //	atmem-report -format md results.json
 //	atmem-report -format md -                 # read stdin
+//
+// With -timeline the inputs are Chrome trace JSON files written by the
+// telemetry layer (atmem-bench -trace, or atmem.Runtime.WriteTrace)
+// instead of report JSON, rendered as a text or markdown timeline:
+//
+//	atmem-bench -trace traces tab3
+//	atmem-report -timeline -format text traces/*.trace.json
 package main
 
 import (
@@ -16,13 +23,15 @@ import (
 	"os"
 
 	"atmem/internal/harness"
+	"atmem/internal/telemetry"
 )
 
 func main() {
 	format := flag.String("format", "md", "output format: text, csv, md")
+	timeline := flag.Bool("timeline", false, "inputs are telemetry trace JSON; render them as timelines (text or md)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: atmem-report [-format text|csv|md] <results.json|->")
+		fmt.Fprintln(os.Stderr, "usage: atmem-report [-timeline] [-format text|csv|md] <results.json|trace.json|->")
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
@@ -36,6 +45,10 @@ func main() {
 			}
 			defer f.Close()
 			rd = f
+		}
+		if *timeline {
+			renderTimeline(path, rd, *format)
+			continue
 		}
 		reports, err := harness.ReadJSONReports(rd)
 		if err != nil {
@@ -57,6 +70,28 @@ func main() {
 				fatal("%v", err)
 			}
 		}
+	}
+}
+
+// renderTimeline renders one telemetry trace as a human-readable
+// timeline on stdout.
+func renderTimeline(path string, rd io.Reader, format string) {
+	events, err := telemetry.ReadChromeTrace(rd)
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+	switch format {
+	case "text":
+		err = telemetry.WriteTimelineText(os.Stdout, events)
+	case "md":
+		err = telemetry.WriteTimelineMarkdown(os.Stdout, events)
+	case "csv":
+		err = telemetry.WriteCSV(os.Stdout, events)
+	default:
+		fatal("unknown timeline format %q (want text, md, or csv)", format)
+	}
+	if err != nil {
+		fatal("%s: %v", path, err)
 	}
 }
 

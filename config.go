@@ -27,6 +27,7 @@ import (
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
+	"atmem/internal/telemetry"
 )
 
 // Testbed selects one of the two simulated HMS platforms of the paper's
@@ -144,6 +145,15 @@ type Options struct {
 	// through rollback, staging-shrink retries, and region skips
 	// instead of failing. Inspect what fired via Runtime.FaultEvents.
 	FaultSchedule *faultinject.Schedule
+	// Recorder, when non-nil, attaches a telemetry recorder to the
+	// runtime: every phase, profiling window, analyzer stage, migration
+	// region, and injected fault is recorded as a dual-clock event
+	// (simulated + host), exportable as a Perfetto-loadable Chrome
+	// trace, a CSV timeline, or a chunk-heat dump (see
+	// Runtime.WriteTrace). A nil Recorder disables telemetry at the
+	// cost of one pointer test per lifecycle point; the simulated-
+	// access hot path is never instrumented.
+	Recorder *telemetry.Recorder
 	// BandwidthAware enables the aggregate-bandwidth placement
 	// enhancement the paper sketches as future work (§9): on systems
 	// whose tiers have independent memory channels (KNL), deliberately

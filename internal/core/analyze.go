@@ -79,6 +79,18 @@ func (p *Plan) AllRanges() []Range {
 	return out
 }
 
+// StageObserver watches the analyzer walk its pipeline. StageBegin and
+// StageEnd bracket each named stage — "rank" (local selection plus the
+// global density rescue), "threshold" (Eq. 4–5 adapted thresholds),
+// "promote" (tree building and top-down promotion), and "clip" (range
+// merging and capacity clipping). StageEnd carries a small summary of
+// what the stage decided. Calls arrive on the Analyze goroutine; a nil
+// observer disables observation.
+type StageObserver interface {
+	StageBegin(stage string)
+	StageEnd(stage string, summary map[string]any)
+}
+
 // Analyze runs the full two-stage analyzer (§4.2–§4.3) over the registry:
 // local selection per object, global weight ranking, per-object adapted
 // tree-ratio thresholds, top-down promotion, range merging, and capacity
@@ -87,6 +99,12 @@ func (p *Plan) AllRanges() []Range {
 // period is the sampling period the profiler used, needed to scale sample
 // counts back to priority units.
 func Analyze(r *Registry, period uint64, budgetBytes uint64) (*Plan, error) {
+	return AnalyzeObserved(r, period, budgetBytes, nil)
+}
+
+// AnalyzeObserved is Analyze with a StageObserver reporting each pipeline
+// stage (obs may be nil, making it exactly Analyze).
+func AnalyzeObserved(r *Registry, period uint64, budgetBytes uint64, obs StageObserver) (*Plan, error) {
 	if period == 0 {
 		return nil, fmt.Errorf("core: Analyze with zero sampling period")
 	}
@@ -98,6 +116,9 @@ func Analyze(r *Registry, period uint64, budgetBytes uint64) (*Plan, error) {
 	}
 
 	// Stage 1: hybrid local selection (Eq. 1–3).
+	if obs != nil {
+		obs.StageBegin("rank")
+	}
 	for i, o := range objs {
 		plan.Objects[i] = ObjectPlan{
 			Object: o,
@@ -157,17 +178,56 @@ func Analyze(r *Registry, period uint64, budgetBytes uint64) (*Plan, error) {
 			op.Local.Weight = prSum / float64(op.Local.NumCritical)
 		}
 	}
+	if obs != nil {
+		sampled := 0
+		for i := range plan.Objects {
+			sampled += plan.Objects[i].Local.NumCritical
+		}
+		obs.StageEnd("rank", map[string]any{
+			"objects":        len(plan.Objects),
+			"sampled_chunks": sampled,
+		})
+	}
 
 	// Stage 2: global relative ranking of object weights (Eq. 4) and
-	// per-object adapted tree-ratio thresholds (Eq. 5).
-	minW, maxW, any := weightSpace(plan.Objects)
+	// per-object adapted tree-ratio thresholds (Eq. 5). Thresholds
+	// depend only on the weight space, not on promotions, so the two
+	// halves of the stage run as separate passes.
+	if obs != nil {
+		obs.StageBegin("threshold")
+	}
+	minW, maxW, anyW := weightSpace(plan.Objects)
 	eps := cfg.EffectiveEpsilon()
 	for i := range plan.Objects {
 		op := &plan.Objects[i]
-		op.TRThreshold = AdaptTRThreshold(op.Local.Weight, minW, maxW, any,
+		op.TRThreshold = AdaptTRThreshold(op.Local.Weight, minW, maxW, anyW,
 			cfg.BaseTRThreshold, eps)
+	}
+	if obs != nil {
+		obs.StageEnd("threshold", map[string]any{
+			"min_weight": minW,
+			"max_weight": maxW,
+			"epsilon":    eps,
+		})
+		obs.StageBegin("promote")
+	}
+	promoted := 0
+	for i := range plan.Objects {
+		op := &plan.Objects[i]
 		tree := BuildTree(op.Local.Critical, cfg.M)
 		op.Estimated = tree.Promote(op.TRThreshold, op.Local.Critical)
+		for _, est := range op.Estimated {
+			if est {
+				promoted++
+			}
+		}
+	}
+	if obs != nil {
+		obs.StageEnd("promote", map[string]any{
+			"estimated_chunks": promoted,
+			"tree_arity":       cfg.M,
+		})
+		obs.StageBegin("clip")
 	}
 
 	// Merge selections into ranges and clip to the capacity budget.
@@ -178,6 +238,13 @@ func Analyze(r *Registry, period uint64, budgetBytes uint64) (*Plan, error) {
 		for _, rg := range op.Ranges {
 			plan.SelectedBytes += rg.Size
 		}
+	}
+	if obs != nil {
+		obs.StageEnd("clip", map[string]any{
+			"selected_bytes": plan.SelectedBytes,
+			"clipped_bytes":  plan.ClippedBytes,
+			"budget_bytes":   plan.Budget,
+		})
 	}
 	return plan, nil
 }

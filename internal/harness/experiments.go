@@ -111,7 +111,7 @@ func overallRows(s *Suite, tb TestbedID) (*Report, error) {
 		ID:    map[TestbedID]string{NVM: "fig5", KNL: "fig6"}[tb],
 		Title: "Per-iteration execution time by placement",
 		Columns: []string{"app", "dataset", "baseline(s)", "atmem(s)", "ideal(s)",
-			"atmem-speedup", "vs-ideal", "data-ratio"},
+			"atmem-speedup", "vs-ideal", "data-ratio", "degraded", "skipped-bytes", "faults"},
 	}
 	for _, app := range evalApps {
 		for _, ds := range evalDatasets {
@@ -131,7 +131,10 @@ func overallRows(s *Suite, tb TestbedID) (*Report, error) {
 				secs(base.IterSeconds), secs(at.IterSeconds), secs(ideal.IterSeconds),
 				ratio(base.IterSeconds/at.IterSeconds),
 				pct(at.IterSeconds/ideal.IterSeconds-1),
-				pct(at.DataRatio))
+				pct(at.DataRatio),
+				fmt.Sprintf("%t", at.Migration.Degraded()),
+				fmt.Sprintf("%d", at.Migration.SkippedBytes),
+				fmt.Sprintf("%d", at.FaultEvents))
 		}
 	}
 	return rep, nil

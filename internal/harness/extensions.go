@@ -174,7 +174,7 @@ func robustness(s *Suite) ([]*Report, error) {
 		ID:    "robustness",
 		Title: "PR on twitter under injected migration faults (NVM-DRAM)",
 		Columns: []string{"scenario", "iter(s)", "migrated", "retried",
-			"skipped", "data-ratio", "validated"},
+			"skipped", "skipped-bytes", "faults", "data-ratio", "validated"},
 	}
 	for _, sc := range scenarios {
 		res, err := s.Run(RunConfig{
@@ -189,6 +189,8 @@ func robustness(s *Suite) ([]*Report, error) {
 			fmt.Sprintf("%d", res.Migration.RegionsMigrated),
 			fmt.Sprintf("%d", res.Migration.RegionsRetried),
 			fmt.Sprintf("%d", res.Migration.RegionsSkipped),
+			fmt.Sprintf("%d", res.Migration.SkippedBytes),
+			fmt.Sprintf("%d", res.FaultEvents),
 			pct(res.DataRatio),
 			fmt.Sprintf("%t", res.Validated))
 	}

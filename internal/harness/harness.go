@@ -6,12 +6,17 @@ package harness
 
 import (
 	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"atmem"
 	"atmem/apps"
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
+	"atmem/internal/telemetry"
 )
 
 // TestbedID names one of the two simulated platforms.
@@ -61,12 +66,20 @@ type RunConfig struct {
 	// identity in the memoization key.
 	FaultSchedule *faultinject.Schedule
 	FaultLabel    string
+	// Telemetry attaches a telemetry recorder to the run (see
+	// atmem.Options.Recorder). Implied by a non-empty TraceDir.
+	Telemetry bool
+	// TraceDir, when non-empty, writes the run's Chrome trace JSON, CSV
+	// timeline, and chunk-heat dump into this directory next to the
+	// report artifacts; RunResult.TracePath names the trace.
+	TraceDir string
 }
 
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s|%t|%s",
 		c.Testbed, c.App, c.Dataset, c.Policy, c.Mechanism, c.Epsilon,
-		c.SamplePeriod, c.BandwidthAware, c.SkipValidate, c.FaultLabel)
+		c.SamplePeriod, c.BandwidthAware, c.SkipValidate, c.FaultLabel,
+		c.Telemetry, c.TraceDir)
 }
 
 // RunResult is the outcome of one benchmark run.
@@ -91,6 +104,12 @@ type RunResult struct {
 	DataRatio float64
 	// Validated records whether the kernel result was checked.
 	Validated bool
+	// FaultEvents counts the faults the injector fired during the run
+	// (0 without a FaultSchedule).
+	FaultEvents int
+	// TracePath is the Chrome trace written for this run (empty unless
+	// TraceDir was set).
+	TracePath string
 }
 
 // Run executes one configuration from scratch: fresh runtime, setup, a
@@ -107,6 +126,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		SamplePeriod:   cfg.SamplePeriod,
 		BandwidthAware: cfg.BandwidthAware,
 		FaultSchedule:  cfg.FaultSchedule,
+	}
+	if cfg.Telemetry || cfg.TraceDir != "" {
+		opts.Recorder = telemetry.NewRecorder()
 	}
 	if cfg.Epsilon > 0 {
 		ac := core.DefaultConfig()
@@ -150,13 +172,56 @@ func Run(cfg RunConfig) (RunResult, error) {
 	res.PostTLBMisses = second.TLBMisses()
 	res.PostLLCMisses = second.LLCMisses()
 	res.DataRatio = rt.FastDataRatio()
+	res.FaultEvents = len(rt.FaultEvents())
 	if !cfg.SkipValidate {
 		if err := kern.Validate(); err != nil {
 			return res, fmt.Errorf("harness: %s validation: %w", cfg.key(), err)
 		}
 		res.Validated = true
 	}
+	if cfg.TraceDir != "" {
+		path, err := writeTraceArtifacts(rt, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.TracePath = path
+	}
 	return res, nil
+}
+
+// writeTraceArtifacts writes the run's trace JSON, CSV timeline, and
+// chunk-heat dump into cfg.TraceDir and returns the trace path. Names
+// embed the human-readable run coordinates plus a short hash of the full
+// configuration key, so sweep variants never collide.
+func writeTraceArtifacts(rt *atmem.Runtime, cfg RunConfig) (string, error) {
+	if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+		return "", fmt.Errorf("harness: trace dir: %w", err)
+	}
+	stem := fmt.Sprintf("%s-%s-%s-%s-%08x", cfg.Testbed, cfg.App, cfg.Dataset,
+		cfg.Policy, crc32.ChecksumIEEE([]byte(cfg.key())))
+	write := func(name string, fn func(w io.Writer) error) (string, error) {
+		path := filepath.Join(cfg.TraceDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", fmt.Errorf("harness: trace artifact: %w", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return "", fmt.Errorf("harness: write %s: %w", path, err)
+		}
+		return path, f.Close()
+	}
+	tracePath, err := write(stem+".trace.json", rt.WriteTrace)
+	if err != nil {
+		return "", err
+	}
+	if _, err := write(stem+".timeline.csv", rt.WriteTraceCSV); err != nil {
+		return "", err
+	}
+	if _, err := write(stem+".heat.csv", rt.WriteChunkHeat); err != nil {
+		return "", err
+	}
+	return tracePath, nil
 }
 
 // Suite memoizes Run results so experiments sharing configurations (fig5 /
@@ -166,6 +231,10 @@ type Suite struct {
 	cache map[string]RunResult
 	// Verbose, when set, prints one line per executed run.
 	Verbose bool
+	// TraceDir, when set, applies to every run the suite executes that
+	// does not name its own trace directory: each run records telemetry
+	// and writes its trace artifacts there.
+	TraceDir string
 }
 
 // NewSuite builds an empty suite.
@@ -175,6 +244,10 @@ func NewSuite() *Suite {
 
 // Run returns the memoized result for cfg, executing it on first use.
 func (s *Suite) Run(cfg RunConfig) (RunResult, error) {
+	if s.TraceDir != "" && cfg.TraceDir == "" {
+		cfg.TraceDir = s.TraceDir
+		cfg.Telemetry = true
+	}
 	s.mu.Lock()
 	if r, ok := s.cache[cfg.key()]; ok {
 		s.mu.Unlock()

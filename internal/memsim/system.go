@@ -312,6 +312,15 @@ func (s *System) Reserved(t Tier) uint64 {
 	return s.reserved[t]
 }
 
+// TierUsage returns the mapped and reserved byte counts of tier t in one
+// consistent read — the occupancy pair the telemetry layer snapshots per
+// phase.
+func (s *System) TierUsage(t Tier) (mapped, reserved uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used[t], s.reserved[t]
+}
+
 // Free capacity remaining on tier t.
 func (s *System) FreeCapacity(t Tier) uint64 {
 	s.mu.Lock()

@@ -17,10 +17,23 @@ type ATMemEngine struct {
 	// are migrated in staging-sized slices so the mechanism works even
 	// when the target tier is nearly full. 0 means 8 MiB.
 	StagingBytes uint64
+	// Sink, when non-nil, observes per-region attempt/rollback/outcome
+	// events (see SetEventSink).
+	Sink EventSink
 }
 
 // Name implements Engine.
 func (e *ATMemEngine) Name() string { return "atmem" }
+
+// SetEventSink implements Engine.
+func (e *ATMemEngine) SetEventSink(s EventSink) { e.Sink = s }
+
+// emit sends ev to the sink, if any.
+func (e *ATMemEngine) emit(ev Event) {
+	if e.Sink != nil {
+		e.Sink(ev)
+	}
+}
 
 // Migrate implements Engine. For each region it stages the live values on
 // the target memory with a parallel copy, remaps the region's virtual
@@ -57,6 +70,7 @@ func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
 			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
+			e.emit(Event{Kind: EventMigrated, Region: r, Seconds: st.Seconds})
 			continue
 		}
 		out, err := e.migrateRegion(sys, r, target, staging, threads, &st)
@@ -82,19 +96,31 @@ func (e *ATMemEngine) migrateRegion(sys *memsim.System, r Region, target memsim.
 	out := RegionOutcome{Region: r}
 	for stg := staging; ; {
 		out.Attempts++
+		e.emit(Event{Kind: EventAttempt, Region: r, Attempt: out.Attempts,
+			StagingBytes: stg, Seconds: st.Seconds})
 		err := e.attemptRegion(sys, r, target, stg, threads, st)
 		if err == nil {
+			kind := EventMigrated
 			if out.Attempts > 1 {
 				out.Outcome = OutcomeRetried
+				kind = EventRetried
 			}
+			e.emit(Event{Kind: kind, Region: r, Attempt: out.Attempts,
+				StagingBytes: stg, Seconds: st.Seconds})
 			return out, nil
 		}
 		out.Err = err
 		if errors.Is(err, ErrRollback) {
 			return out, err
 		}
+		// The failed attempt unwound itself (see attemptRegion); the
+		// region is back on its pre-attempt placement.
+		e.emit(Event{Kind: EventRollback, Region: r, Attempt: out.Attempts,
+			StagingBytes: stg, Seconds: st.Seconds, Err: err})
 		if stg <= memsim.SmallPage {
 			out.Outcome = OutcomeSkipped
+			e.emit(Event{Kind: EventSkipped, Region: r, Attempt: out.Attempts,
+				StagingBytes: stg, Seconds: st.Seconds, Err: err})
 			return out, nil
 		}
 		stg = memsim.RoundUp(stg/2, memsim.SmallPage)

@@ -17,10 +17,23 @@ type MbindEngine struct {
 	// ShootdownBatchPages is how many pages the kernel unmaps between
 	// TLB shootdown IPIs. 0 means 512 (one PMD's worth).
 	ShootdownBatchPages int
+	// Sink, when non-nil, observes per-region attempt/rollback/outcome
+	// events (see SetEventSink).
+	Sink EventSink
 }
 
 // Name implements Engine.
 func (e *MbindEngine) Name() string { return "mbind" }
+
+// SetEventSink implements Engine.
+func (e *MbindEngine) SetEventSink(s EventSink) { e.Sink = s }
+
+// emit sends ev to the sink, if any.
+func (e *MbindEngine) emit(ev Event) {
+	if e.Sink != nil {
+		e.Sink(ev)
+	}
+}
 
 // Migrate implements Engine. The kernel service is transactional per
 // region by construction: the whole-region retier validates capacity
@@ -44,6 +57,7 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
 			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
+			e.emit(Event{Kind: EventMigrated, Region: r, Seconds: st.Seconds})
 			continue
 		}
 		src := target.Other()
@@ -52,20 +66,32 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		var ferr error
 		for attempt := 0; attempt < 2; attempt++ {
 			out.Attempts++
+			e.emit(Event{Kind: EventAttempt, Region: r, Attempt: out.Attempts,
+				Seconds: st.Seconds})
 			if ferr = e.attemptRegion(sys, r, target, &st); ferr == nil {
 				break
 			}
+			// The whole-region retier validates before touching pages, so
+			// a failed attempt left the region in place (kernel-atomic).
+			e.emit(Event{Kind: EventRollback, Region: r, Attempt: out.Attempts,
+				Seconds: st.Seconds, Err: ferr})
 		}
 		if ferr != nil {
 			out.Outcome = OutcomeSkipped
 			out.Err = ferr
 			st.recordOutcome(out)
+			e.emit(Event{Kind: EventSkipped, Region: r, Attempt: out.Attempts,
+				Seconds: st.Seconds, Err: ferr})
 			continue
 		}
+		kind := EventMigrated
 		if out.Attempts > 1 {
 			out.Outcome = OutcomeRetried
+			kind = EventRetried
 		}
 		st.recordOutcome(out)
+		e.emit(Event{Kind: kind, Region: r, Attempt: out.Attempts,
+			Seconds: st.Seconds})
 
 		pages := int(moving / memsim.SmallPage)
 		st.PagesMoved += pages

@@ -129,10 +129,62 @@ func (st *Stats) recordOutcome(out RegionOutcome) {
 	}
 }
 
+// EventKind classifies one migration telemetry event.
+type EventKind string
+
+const (
+	// EventAttempt fires at the start of each per-region migration
+	// attempt (one per degradation-ladder rung).
+	EventAttempt EventKind = "attempt"
+	// EventRollback fires after a failed attempt has been unwound: the
+	// region is back on its pre-attempt placement.
+	EventRollback EventKind = "rollback"
+	// EventMigrated fires when a region commits on the first attempt
+	// (or was already resident on the target tier).
+	EventMigrated EventKind = "migrated"
+	// EventRetried fires when a region commits after walking the
+	// degradation ladder (attempts > 1).
+	EventRetried EventKind = "retried"
+	// EventSkipped fires when every rung failed and the region stays on
+	// its original tier.
+	EventSkipped EventKind = "skipped"
+)
+
+// Event is one per-region migration telemetry event. Seconds is the
+// engine's modelled elapsed migration time at emission, which lets an
+// observer place the event on the simulated clock inside the Optimize
+// window. Terminal kinds (migrated/retried/skipped) arrive exactly once
+// per region and partition the regions the same way the Stats
+// RegionsMigrated/Retried/Skipped counters do.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Region is the page-aligned region concerned.
+	Region Region
+	// Attempt is the 1-based attempt number (0 for the already-resident
+	// fast path, which never runs an attempt).
+	Attempt int
+	// StagingBytes is the staging-buffer size of the attempt (ATMem
+	// engine only; 0 for mbind).
+	StagingBytes uint64
+	// Seconds is the engine's modelled elapsed time at emission.
+	Seconds float64
+	// Err carries the failure of rollback/skipped events.
+	Err error
+}
+
+// EventSink observes migration events. Sinks are called synchronously
+// from the (single-threaded) migration path; a nil sink disables
+// emission at the cost of one pointer test.
+type EventSink func(Event)
+
 // Engine migrates regions to the target tier on a system.
 type Engine interface {
 	// Name identifies the engine ("atmem" or "mbind").
 	Name() string
+	// SetEventSink installs (or clears, with nil) the per-region event
+	// observer for subsequent Migrate calls.
+	SetEventSink(EventSink)
 	// Migrate moves every page of the given regions to the target tier
 	// and returns timing and accounting. Regions are page-aligned
 	// outward before moving. Migration is transactional per region: a

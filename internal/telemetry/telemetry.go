@@ -1,0 +1,262 @@
+// Package telemetry is the runtime's low-overhead event/span recorder:
+// the observability layer of the profile→analyze→migrate decision loop.
+//
+// Every event is stamped on two clocks at once:
+//
+//   - the simulated clock — memsim cycles converted to seconds and
+//     accumulated by the runtime across phases and migrations, the
+//     timeline the paper's figures live on;
+//   - the host clock — wall nanoseconds since the recorder was created,
+//     which exposes the cost of the un-simulated control plane (the
+//     analyzer stages run in host time only).
+//
+// Events append to per-shard buffers with no locks on the emission path:
+// shard 0 is the runtime's control plane (phases, profiling windows,
+// analyzer stages, migration, faults) and shards 1..N belong to the
+// simulated threads, one writer each. A nil *Recorder is the disabled
+// recorder: every method is nil-safe and returns immediately, so wiring
+// telemetry through a layer costs one pointer test when it is off.
+//
+// Exporters (see export.go) render the merged event stream as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing), as a CSV
+// timeline, and as a human-readable text or markdown timeline
+// (timeline.go).
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Chrome trace-event phase codes used by the recorder (the "ph" field of
+// the trace-event format).
+const (
+	// PhaseBegin opens a span on its thread track.
+	PhaseBegin = 'B'
+	// PhaseEnd closes the innermost open span of its thread track.
+	PhaseEnd = 'E'
+	// PhaseInstant is a zero-duration point event.
+	PhaseInstant = 'i'
+	// PhaseCounter carries named numeric values sampled at a point in
+	// time (rendered as counter tracks by Perfetto).
+	PhaseCounter = 'C'
+)
+
+// Args carries an event's key/value payload. Exporters emit keys in
+// sorted order, so equal Args always serialize identically. Values
+// should be strings, bools, or numeric types.
+type Args map[string]any
+
+// Event is one recorded telemetry event.
+type Event struct {
+	// Seq orders events within one shard (monotonic per shard).
+	Seq uint64
+	// TID is the emitting track: 0 is the control plane, 1..N are
+	// simulated threads.
+	TID int
+	// Cat is the event category ("phase", "profile", "analyze",
+	// "migrate", "fault", "metric").
+	Cat string
+	// Name labels the event within its category.
+	Name string
+	// Ph is the Chrome trace phase code (PhaseBegin et al.).
+	Ph byte
+	// SimNS is the simulated-clock stamp in nanoseconds.
+	SimNS uint64
+	// HostNS is the host-clock stamp in nanoseconds since the recorder
+	// was created.
+	HostNS int64
+	// Args is the optional payload.
+	Args Args
+}
+
+// shard is one single-writer append buffer.
+type shard struct {
+	seq    uint64
+	events []Event
+}
+
+// Recorder collects telemetry events. Create one with NewRecorder and
+// hand it to the runtime via Options.Recorder; a nil *Recorder disables
+// recording everywhere.
+//
+// Emission methods are safe for one concurrent writer per shard (TID);
+// Events and the exporters must not run concurrently with emission —
+// the runtime's phase structure guarantees this.
+type Recorder struct {
+	start   time.Time
+	hostNow func() int64
+	simNow  atomic.Pointer[func() uint64]
+	shards  []*shard
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithHostClock replaces the host-clock source (nanoseconds since
+// recorder start) — used by tests that need deterministic host stamps.
+func WithHostClock(now func() int64) Option {
+	return func(r *Recorder) { r.hostNow = now }
+}
+
+// NewRecorder builds an enabled recorder with a control-plane shard.
+// EnsureThreads grows the per-thread shards.
+func NewRecorder(opts ...Option) *Recorder {
+	r := &Recorder{start: time.Now()}
+	r.hostNow = func() int64 { return int64(time.Since(r.start)) }
+	r.shards = []*shard{{}}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder collects events (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetSimClock installs the simulated-clock source (nanoseconds of
+// accumulated simulated time). Without one, events carry SimNS 0. The
+// source must be safe for concurrent calls.
+func (r *Recorder) SetSimClock(now func() uint64) {
+	if r == nil {
+		return
+	}
+	r.simNow.Store(&now)
+}
+
+// EnsureThreads guarantees shards for TIDs 0..n exist. Not safe
+// concurrently with emission; the runtime calls it before any phase
+// runs.
+func (r *Recorder) EnsureThreads(n int) {
+	if r == nil {
+		return
+	}
+	for len(r.shards) <= n {
+		r.shards = append(r.shards, &shard{})
+	}
+}
+
+// sim returns the current simulated-clock stamp.
+func (r *Recorder) sim() uint64 {
+	if f := r.simNow.Load(); f != nil {
+		return (*f)()
+	}
+	return 0
+}
+
+// emit appends one event to the tid's shard.
+func (r *Recorder) emit(tid int, ph byte, cat, name string, simNS uint64, args Args) {
+	if tid < 0 || tid >= len(r.shards) {
+		tid = 0
+	}
+	s := r.shards[tid]
+	s.seq++
+	s.events = append(s.events, Event{
+		Seq:    s.seq,
+		TID:    tid,
+		Cat:    cat,
+		Name:   name,
+		Ph:     ph,
+		SimNS:  simNS,
+		HostNS: r.hostNow(),
+		Args:   args,
+	})
+}
+
+// Begin opens a span on tid's track at the current clocks.
+func (r *Recorder) Begin(tid int, cat, name string, args Args) {
+	if r == nil {
+		return
+	}
+	r.emit(tid, PhaseBegin, cat, name, r.sim(), args)
+}
+
+// End closes the innermost open span of tid's track.
+func (r *Recorder) End(tid int, cat, name string, args Args) {
+	if r == nil {
+		return
+	}
+	r.emit(tid, PhaseEnd, cat, name, r.sim(), args)
+}
+
+// Instant records a point event at the current clocks.
+func (r *Recorder) Instant(tid int, cat, name string, args Args) {
+	if r == nil {
+		return
+	}
+	r.emit(tid, PhaseInstant, cat, name, r.sim(), args)
+}
+
+// InstantAt records a point event at an explicit simulated-clock stamp —
+// used by the migration adapter, whose engine models its own elapsed
+// seconds within the Optimize span.
+func (r *Recorder) InstantAt(tid int, simNS uint64, cat, name string, args Args) {
+	if r == nil {
+		return
+	}
+	r.emit(tid, PhaseInstant, cat, name, simNS, args)
+}
+
+// Counter records named numeric values sampled at the current clocks.
+func (r *Recorder) Counter(tid int, cat, name string, values Args) {
+	if r == nil {
+		return
+	}
+	r.emit(tid, PhaseCounter, cat, name, r.sim(), values)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range r.shards {
+		n += len(s.events)
+	}
+	return n
+}
+
+// Events merges every shard into one stream ordered by (SimNS, TID,
+// Seq). Within one track the order equals emission order (shard
+// sequence numbers break simulated-clock ties), so span nesting is
+// preserved. The returned slice is a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	for _, s := range r.shards {
+		out = append(out, s.events...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SimNS != out[j].SimNS {
+			return out[i].SimNS < out[j].SimNS
+		}
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// CountEvents returns how many events match the category and name
+// (empty strings match everything) — the helper the trace-vs-report
+// reconciliation tests use.
+func (r *Recorder) CountEvents(cat, name string) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range r.shards {
+		for i := range s.events {
+			if (cat == "" || s.events[i].Cat == cat) &&
+				(name == "" || s.events[i].Name == name) {
+				n++
+			}
+		}
+	}
+	return n
+}

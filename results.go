@@ -20,9 +20,17 @@ type PhaseResult struct {
 func (p PhaseResult) Seconds() float64 { return p.Stats.WallSeconds }
 
 func (p PhaseResult) String() string {
-	return fmt.Sprintf("%s: %.6fs (lat %.6fs, bw %.6fs, %d misses, %d TLB misses)",
+	s := fmt.Sprintf("%s: %.6fs (lat %.6fs, bw %.6fs, %d misses, %d TLB misses)",
 		p.Name, p.Stats.WallSeconds, p.Stats.LatencySeconds,
 		p.Stats.BandwidthSeconds, p.Stats.LLCMisses, p.Stats.TLBMisses)
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		rd, wr, wb := p.Stats.ReadBytes[t], p.Stats.WriteBytes[t], p.Stats.WritebackBytes[t]
+		if rd == 0 && wr == 0 && wb == 0 {
+			continue
+		}
+		s += fmt.Sprintf("; %s r/w/wb %d/%d/%d B", t, rd, wr, wb)
+	}
+	return s
 }
 
 // MigrationReport summarizes one Optimize call: what the analyzer

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
+	"atmem/internal/telemetry"
 )
 
 // Runtime is one ATMem session on one simulated HMS: it owns the memory
@@ -37,6 +39,14 @@ type Runtime struct {
 	migStats *migrate.Stats
 	phases   []PhaseResult
 	profiled bool
+
+	// Telemetry state (see telemetry.go). simNS is the simulated-clock
+	// cursor in nanoseconds, advanced by phase wall time and modelled
+	// migration time; rec is nil when telemetry is off.
+	rec          *telemetry.Recorder
+	simNS        atomic.Uint64
+	profOpen     bool
+	faultsTraced int
 }
 
 // NewRuntime builds a runtime on the given testbed.
@@ -86,6 +96,9 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 		ts := r.prof.ThreadSampler(i)
 		r.accessors[i].SetMissHook(ts.OnMiss)
 	}
+	r.rec = o.Recorder
+	r.rec.SetSimClock(r.simNS.Load)
+	r.rec.EnsureThreads(p.Threads)
 	return r, nil
 }
 
@@ -216,6 +229,12 @@ func (r *Runtime) Objects() []*Object {
 // samples, auto-adjusts the sampling period from the registered footprint
 // (§5.1) unless a fixed period was configured, and enables collection.
 func (r *Runtime) ProfilingStart() {
+	if r.profOpen {
+		// A restarted window discards the previous samples; close its
+		// span so the trace stays balanced.
+		r.rec.End(0, "profile", "window", telemetry.Args{"restarted": true})
+		r.profOpen = false
+	}
 	r.prof.Reset()
 	if r.opts.SamplePeriod == 0 {
 		period := pebs.AutoPeriod(
@@ -229,6 +248,10 @@ func (r *Runtime) ProfilingStart() {
 		r.prof.SetPeriod(period)
 	}
 	r.prof.Start()
+	r.rec.Begin(0, "profile", "window", telemetry.Args{
+		"period": r.prof.Config().Period,
+	})
+	r.profOpen = true
 }
 
 // ProfilingStop is atmem_profiling_stop (Listing 1): it disables
@@ -238,6 +261,14 @@ func (r *Runtime) ProfilingStop() int {
 	r.prof.Stop()
 	n := r.reg.AttributeSamples(r.prof.Samples())
 	r.profiled = n > 0 || r.profiled
+	if r.profOpen {
+		r.rec.End(0, "profile", "window", telemetry.Args{
+			"samples_attributed": n,
+			"samples_captured":   r.prof.SampleCount(),
+		})
+		r.profOpen = false
+	}
+	r.emitChunkHeat()
 	return n
 }
 
@@ -304,6 +335,12 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
 	}
+	optStart := r.simNS.Load()
+	r.rec.Begin(0, "optimize", "optimize", nil)
+	defer func() {
+		r.logNewFaults()
+		r.rec.End(0, "optimize", "optimize", r.optimizeSpanArgs())
+	}()
 	free := r.sys.FreeCapacity(memsim.TierFast)
 	if free <= r.opts.CapacityReserve {
 		// The reserve consumes the whole remaining fast tier: there is
@@ -316,7 +353,7 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 		return r.migrationReport(), nil
 	}
 	budget := free - r.opts.CapacityReserve
-	plan, err := core.Analyze(r.reg, r.prof.Config().Period, budget)
+	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver())
 	if err != nil {
 		return MigrationReport{}, err
 	}
@@ -332,8 +369,15 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 		}
 	}
 	pre := r.objectChecksums()
+	if r.rec.Enabled() {
+		r.engine.SetEventSink(func(ev migrate.Event) {
+			r.emitMigrationEvent(optStart, ev)
+		})
+		defer r.engine.SetEventSink(nil)
+	}
 	st, err := r.engine.Migrate(r.sys, regions, memsim.TierFast)
 	r.migStats = &st
+	r.simNS.Add(uint64(st.Seconds * 1e9))
 	if err != nil {
 		// Only unrecoverable failures (a failed rollback) reach here;
 		// recoverable faults degraded into per-region outcomes.
@@ -453,6 +497,7 @@ func (c *Ctx) Range(n int) (lo, hi int) {
 // previous phases (the paper measures the warm second iteration, §6). It
 // returns the phase's simulated time and event statistics.
 func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
+	r.rec.Begin(0, "phase", name, nil)
 	for _, a := range r.accessors {
 		a.ResetCounters()
 	}
@@ -470,6 +515,16 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 		Stats: r.sys.ReducePhase(r.accessors),
 	}
 	r.phases = append(r.phases, pr)
+	// The simulated clock advances by the phase's wall time; the span
+	// End therefore lands at the phase's end on the sim axis.
+	r.simNS.Add(uint64(pr.Stats.WallSeconds * 1e9))
+	r.rec.End(0, "phase", name, telemetry.Args{
+		"wall_s":     pr.Stats.WallSeconds,
+		"accesses":   pr.Stats.Accesses,
+		"llc_misses": pr.Stats.LLCMisses,
+		"tlb_misses": pr.Stats.TLBMisses,
+	})
+	r.emitPhaseMetrics(&pr)
 	return pr
 }
 

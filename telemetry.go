@@ -1,0 +1,189 @@
+package atmem
+
+// This file wires the telemetry recorder (internal/telemetry) into the
+// runtime's lifecycle: adapters for the analyzer stage observer and the
+// migration engine event sink, per-phase metric snapshots, fault-event
+// mirroring, and the trace writers the harness and CLIs use. All hooks
+// are nil-safe — with Options.Recorder unset each lifecycle point costs
+// one pointer test, and the simulated-access hot path carries no
+// instrumentation at all.
+
+import (
+	"fmt"
+	"io"
+
+	"atmem/internal/core"
+	"atmem/internal/memsim"
+	"atmem/internal/migrate"
+	"atmem/internal/telemetry"
+)
+
+// Telemetry returns the recorder attached via Options.Recorder (nil when
+// telemetry is off).
+func (r *Runtime) Telemetry() *telemetry.Recorder { return r.rec }
+
+// stageObserver adapts the recorder to the analyzer's stage hooks; it
+// returns nil (no observation) when telemetry is off.
+func (r *Runtime) stageObserver() core.StageObserver {
+	if !r.rec.Enabled() {
+		return nil
+	}
+	return stageRecorder{r.rec}
+}
+
+// stageRecorder records each analyzer stage as a span on the control
+// track, with the stage's decision summary on the closing edge.
+type stageRecorder struct{ rec *telemetry.Recorder }
+
+func (s stageRecorder) StageBegin(stage string) {
+	s.rec.Begin(0, "analyze", stage, nil)
+}
+
+func (s stageRecorder) StageEnd(stage string, summary map[string]any) {
+	s.rec.End(0, "analyze", stage, telemetry.Args(summary))
+}
+
+// emitMigrationEvent places one engine event on the simulated clock: the
+// engine models its own elapsed seconds within the Optimize window, so
+// the event lands at the window's start plus that offset.
+func (r *Runtime) emitMigrationEvent(startNS uint64, ev migrate.Event) {
+	args := telemetry.Args{
+		"base":  ev.Region.Base,
+		"bytes": ev.Region.Size,
+	}
+	if ev.Attempt > 0 {
+		args["attempt"] = ev.Attempt
+	}
+	if ev.StagingBytes > 0 {
+		args["staging_bytes"] = ev.StagingBytes
+	}
+	if ev.Err != nil {
+		args["error"] = ev.Err.Error()
+	}
+	r.rec.InstantAt(0, startNS+uint64(ev.Seconds*1e9),
+		"migrate", "region-"+string(ev.Kind), args)
+}
+
+// optimizeSpanArgs summarizes the Optimize outcome for its span's
+// closing edge.
+func (r *Runtime) optimizeSpanArgs() telemetry.Args {
+	if !r.rec.Enabled() {
+		return nil
+	}
+	args := telemetry.Args{}
+	if r.migStats != nil {
+		args["engine"] = r.migStats.Engine
+		args["migration_s"] = r.migStats.Seconds
+		args["bytes_moved"] = r.migStats.BytesMoved
+		args["regions_migrated"] = r.migStats.RegionsMigrated
+		args["regions_retried"] = r.migStats.RegionsRetried
+		args["regions_skipped"] = r.migStats.RegionsSkipped
+	}
+	if r.plan != nil {
+		args["selected_bytes"] = r.plan.SelectedBytes
+		args["clipped_bytes"] = r.plan.ClippedBytes
+	}
+	return args
+}
+
+// emitPhaseMetrics snapshots the per-phase counters onto the trace's
+// counter tracks: tier occupancy (mapped and reserved bytes per tier)
+// and the phase's per-tier traffic breakdown.
+func (r *Runtime) emitPhaseMetrics(pr *PhaseResult) {
+	if !r.rec.Enabled() {
+		return
+	}
+	occ := make(telemetry.Args, 2*memsim.NumTiers)
+	traffic := make(telemetry.Args, 3*memsim.NumTiers)
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		mapped, reserved := r.sys.TierUsage(t)
+		occ[t.String()+"_mapped"] = mapped
+		occ[t.String()+"_reserved"] = reserved
+		traffic[t.String()+"_read"] = pr.Stats.ReadBytes[t]
+		traffic[t.String()+"_write"] = pr.Stats.WriteBytes[t]
+		traffic[t.String()+"_writeback"] = pr.Stats.WritebackBytes[t]
+	}
+	r.rec.Counter(0, "metric", "tier-occupancy", occ)
+	r.rec.Counter(0, "metric", "phase-traffic", traffic)
+}
+
+// emitChunkHeat records one instant per object with its accumulated
+// sample totals — the trace-side companion of WriteChunkHeat.
+func (r *Runtime) emitChunkHeat() {
+	if !r.rec.Enabled() {
+		return
+	}
+	for _, do := range r.reg.Objects() {
+		reads, writes := do.ReadSamples(), do.WriteSamples()
+		var rsum, wsum uint64
+		hot := 0
+		for j := range reads {
+			rsum += reads[j]
+			wsum += writes[j]
+			if reads[j]+writes[j] > 0 {
+				hot++
+			}
+		}
+		r.rec.Instant(0, "profile", "heat", telemetry.Args{
+			"object":        do.Name,
+			"chunks":        do.NumChunks,
+			"hot_chunks":    hot,
+			"read_samples":  rsum,
+			"write_samples": wsum,
+		})
+	}
+}
+
+// logNewFaults mirrors fault-injector events not yet in the trace as
+// instants on the control track. Optimize calls it before closing its
+// span; the trace writers call it again so Alloc-time faults (outside
+// any Optimize) also reach the written trace, keeping the trace's fault
+// events in one-to-one correspondence with Runtime.FaultEvents.
+func (r *Runtime) logNewFaults() {
+	if !r.rec.Enabled() || r.faults == nil {
+		return
+	}
+	evs := r.faults.Events()
+	for ; r.faultsTraced < len(evs); r.faultsTraced++ {
+		ev := evs[r.faultsTraced]
+		r.rec.Instant(0, "fault", string(ev.Op), telemetry.Args{
+			"call": ev.Call,
+			"rule": ev.Rule,
+		})
+	}
+}
+
+// WriteTrace writes the recorded events as Perfetto-loadable Chrome
+// trace-event JSON (see telemetry.WriteChromeTrace). Pending fault
+// events are synced into the trace first.
+func (r *Runtime) WriteTrace(w io.Writer) error {
+	r.logNewFaults()
+	return telemetry.WriteChromeTrace(w, r.rec.Events())
+}
+
+// WriteTraceCSV writes the recorded events as a flat CSV timeline with
+// both clocks in explicit columns.
+func (r *Runtime) WriteTraceCSV(w io.Writer) error {
+	r.logNewFaults()
+	return telemetry.WriteCSV(w, r.rec.Events())
+}
+
+// WriteChunkHeat dumps every registered object's per-chunk read/write
+// sample counters as CSV — the chunk-granularity heat map the analyzer
+// ranked, for offline inspection next to the trace.
+func (r *Runtime) WriteChunkHeat(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "object,chunk,base,bytes,read_samples,write_samples"); err != nil {
+		return err
+	}
+	for _, do := range r.reg.Objects() {
+		reads, writes := do.ReadSamples(), do.WriteSamples()
+		for j := 0; j < do.NumChunks; j++ {
+			lo, _ := do.ChunkRange(j)
+			if _, err := fmt.Fprintf(w, "%s,%d,%#x,%d,%d,%d\n",
+				do.Name, j, lo, do.ChunkBytes(j), reads[j], writes[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
