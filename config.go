@@ -24,6 +24,7 @@ import (
 
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
+	"atmem/internal/governor"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -154,6 +155,17 @@ type Options struct {
 	// cost of one pointer test per lifecycle point; the simulated-
 	// access hot path is never instrumented.
 	Recorder *telemetry.Recorder
+	// Governor enables the epoch-adaptive placement governor: residency
+	// -aware delta plans, pressure-driven demotion between watermarks,
+	// and a migration circuit breaker. With Governor.Enabled, Optimize
+	// migrates only the difference between the fresh plan and what is
+	// already fast-resident (promotions of newly-hot ranges, demotions
+	// of cold-for-N-epochs ranges scheduled first so reclaimed capacity
+	// funds the promotions), and Runtime.RunEpoch drives the repeated
+	// profile→run→optimize loop. The governor pairs with PolicyATMem:
+	// residency tracking assumes objects start on the large memory and
+	// reach the fast tier only through migration.
+	Governor GovernorOptions
 	// BandwidthAware enables the aggregate-bandwidth placement
 	// enhancement the paper sketches as future work (§9): on systems
 	// whose tiers have independent memory channels (KNL), deliberately
@@ -163,6 +175,47 @@ type Options struct {
 	// bytes. Ignored on shared-channel systems (Optane), where
 	// splitting traffic only serializes it.
 	BandwidthAware bool
+}
+
+// GovernorOptions configures the epoch-adaptive placement governor
+// (see internal/governor for the mechanism and defaults). Zero fields
+// take the governor defaults.
+type GovernorOptions struct {
+	// Enabled turns the governor on.
+	Enabled bool
+	// HighWatermark is the fast-tier occupancy fraction (of capacity
+	// minus CapacityReserve) above which pressure demotion engages.
+	// Default 0.90.
+	HighWatermark float64
+	// LowWatermark is the fraction pressure demotion drains down to
+	// before admitting new promotions. Default 0.75.
+	LowWatermark float64
+	// DemoteAfterEpochs is the hysteresis window: a fast-resident chunk
+	// must stay outside the plan's selection for this many consecutive
+	// epochs before it is demoted. Default 2.
+	DemoteAfterEpochs int
+	// BreakerThreshold is how many consecutive degraded epochs (skipped
+	// regions or migration failures) open the circuit breaker. Default 2.
+	BreakerThreshold int
+	// BreakerCooldown is the initial number of epochs an open breaker
+	// skips migration for; each failed half-open probe doubles it, and a
+	// successful probe resets it. Default 2.
+	BreakerCooldown int
+	// MaxCooldown caps the exponential backoff. Default 32.
+	MaxCooldown int
+}
+
+// governorConfig maps the options onto the governor package's config,
+// applying its defaults.
+func (g GovernorOptions) governorConfig() governor.Config {
+	return governor.Config{
+		HighWatermark:     g.HighWatermark,
+		LowWatermark:      g.LowWatermark,
+		DemoteAfterEpochs: g.DemoteAfterEpochs,
+		BreakerThreshold:  g.BreakerThreshold,
+		BreakerCooldown:   g.BreakerCooldown,
+		MaxCooldown:       g.MaxCooldown,
+	}.WithDefaults()
 }
 
 func (o *Options) withDefaults() Options {

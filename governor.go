@@ -1,0 +1,311 @@
+package atmem
+
+// This file is the runtime half of the epoch-adaptive placement
+// governor (see internal/governor for the control mechanisms and
+// internal/core's Residency for delta planning). A governed runtime
+// re-optimizes repeatedly as the application's hot set drifts — the
+// adaptive interval loop of the paper's §5 — and must do so without
+// re-migrating data that is already placed, without erroring when the
+// budget shrinks, and without hammering a failing migration path.
+
+import (
+	"fmt"
+
+	"atmem/internal/core"
+	"atmem/internal/governor"
+	"atmem/internal/memsim"
+	"atmem/internal/migrate"
+	"atmem/internal/telemetry"
+)
+
+// govInfo captures one governed Optimize for reporting.
+type govInfo struct {
+	epoch          int
+	decision       governor.Decision
+	state          governor.State // breaker state after the epoch
+	skipped        bool           // breaker-open epoch, no migration ran
+	emptyDelta     bool           // nothing to move before any probe shrink
+	promotedBytes  uint64
+	demotedBytes   uint64
+	regionsDemoted int
+	pressureBytes  uint64 // demotions scheduled by the watermarks
+	residentBytes  uint64
+}
+
+// EpochReport is the outcome of one Runtime.RunEpoch: the phases the
+// body ran, the samples the epoch attributed, and the governed
+// migration report.
+type EpochReport struct {
+	// Epoch is the 1-based runtime epoch number.
+	Epoch int
+	// Samples is how many profiler samples the epoch attributed to
+	// registered objects.
+	Samples int
+	// Optimized reports whether the epoch ran the governed Optimize (a
+	// zero-sample epoch carries no placement signal and keeps the
+	// current placement without consulting the breaker).
+	Optimized bool
+	// Migration is the governed migration report (zero when Optimized
+	// is false).
+	Migration MigrationReport
+	// Phases are the phases the epoch body ran, in order.
+	Phases []PhaseResult
+}
+
+// Epoch returns the current epoch count (epochs started so far).
+func (r *Runtime) Epoch() int { return r.epoch }
+
+// BreakerState returns the circuit breaker's current state. It returns
+// the zero state on an ungoverned runtime.
+func (r *Runtime) BreakerState() governor.State {
+	if r.breaker == nil {
+		return governor.StateClosed
+	}
+	return r.breaker.State()
+}
+
+// BreakerTransitions returns every breaker state change so far, in
+// order (nil on an ungoverned runtime).
+func (r *Runtime) BreakerTransitions() []governor.Transition {
+	if r.breaker == nil {
+		return nil
+	}
+	return r.breaker.Transitions()
+}
+
+// ResidentBytes returns the bytes the governor currently tracks as
+// fast-resident (zero on an ungoverned runtime).
+func (r *Runtime) ResidentBytes() uint64 {
+	if r.resid == nil {
+		return 0
+	}
+	return r.resid.ResidentBytes()
+}
+
+// RunEpoch drives one adaptive interval: reset the per-epoch heat,
+// profile the body (which runs its phases via RunPhase), then run the
+// governed Optimize on the epoch's samples. A body that produced no
+// attributable samples keeps the current placement — an idle interval
+// carries no signal, so neither the hysteresis counters nor the breaker
+// advance. Requires Options.Governor.Enabled.
+func (r *Runtime) RunEpoch(name string, body func()) (EpochReport, error) {
+	if r.resid == nil {
+		return EpochReport{}, fmt.Errorf("atmem: RunEpoch requires Options.Governor.Enabled")
+	}
+	r.epoch++
+	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch})
+	rep := EpochReport{Epoch: r.epoch}
+	phaseStart := len(r.phases)
+
+	// Each epoch ranks on its own interval's heat: stale samples from
+	// previous intervals would anchor the old hot set and mask drift.
+	r.reg.ResetSamples()
+	r.ProfilingStart()
+	body()
+	rep.Samples = r.ProfilingStop()
+	rep.Phases = append(rep.Phases, r.phases[phaseStart:]...)
+
+	var err error
+	if rep.Samples > 0 {
+		rep.Optimized = true
+		rep.Migration, err = r.optimizeGoverned()
+	}
+	r.rec.End(0, "epoch", name, telemetry.Args{
+		"epoch":     r.epoch,
+		"samples":   rep.Samples,
+		"optimized": rep.Optimized,
+	})
+	return rep, err
+}
+
+// optimizeGoverned is Optimize for a governed runtime: one breaker
+// decision, a residency delta against the fresh plan, watermark-driven
+// pressure demotions, and a mixed-direction migration schedule with
+// demotions first.
+func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
+	if !r.profiled {
+		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
+	}
+	optStart := r.simNS.Load()
+	r.rec.Begin(0, "optimize", "optimize", nil)
+	defer func() {
+		r.logNewFaults()
+		r.logBreakerTransitions()
+		r.rec.End(0, "optimize", "optimize", r.optimizeSpanArgs())
+	}()
+
+	gi := &govInfo{decision: r.breaker.Decide()}
+	gi.epoch = r.breaker.Epoch()
+	r.gov = gi
+	finish := func() MigrationReport {
+		gi.state = r.breaker.State()
+		gi.residentBytes = r.resid.ResidentBytes()
+		return r.migrationReport()
+	}
+	emptyStats := func() {
+		r.plan = &core.Plan{TotalBytes: r.reg.TotalBytes()}
+		st := migrate.Stats{Engine: r.engine.Name()}
+		r.migStats = &st
+	}
+
+	if gi.decision == governor.DecisionSkip {
+		// Open breaker: no analysis, no migration, hysteresis counters
+		// frozen. The epoch still ran its phases on the degraded
+		// placement; the cooldown was counted by Decide.
+		gi.skipped = true
+		emptyStats()
+		return finish(), nil
+	}
+
+	// The placement budget is an exact ledger identity: free capacity
+	// beyond the reserve plus what registered objects already hold on
+	// the fast tier. Re-selecting an already-resident chunk costs
+	// nothing, so identical samples reproduce the identical plan across
+	// epochs — the invariant that makes steady-state deltas empty.
+	free := r.sys.FreeCapacity(memsim.TierFast)
+	var effFree uint64
+	if free > r.opts.CapacityReserve {
+		effFree = free - r.opts.CapacityReserve
+	}
+	budget := effFree + r.registeredFastBytes()
+	if budget == 0 {
+		// Nothing resident and no headroom: there is no placement
+		// budget at all (core treats budget 0 as unlimited, so this
+		// cannot fall through to the analyzer). A clean no-op epoch.
+		emptyStats()
+		r.breaker.Observe(false)
+		return finish(), nil
+	}
+	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver())
+	if err != nil {
+		return MigrationReport{}, err
+	}
+	if r.opts.BandwidthAware && !r.sys.P.SharedChannels {
+		trimPlanForBandwidth(plan, &r.sys.P)
+	}
+	r.plan = plan
+
+	// Delta against residency: promotions of newly-hot ranges,
+	// demotions of ranges cold for the whole hysteresis window, plus
+	// the not-yet-expired cold chunks as pressure candidates.
+	delta, cands := r.resid.Advance(plan, r.govCfg.DemoteAfterEpochs)
+
+	// Pressure watermarks: if committing the delta would push occupancy
+	// over the high watermark, demote candidates coldest-first until
+	// the projection drains to the low watermark. This is what lets a
+	// hot-set shift or a budget cut proceed before hysteresis expires.
+	capEff := r.sys.P.Tiers[memsim.TierFast].CapacityBytes
+	if capEff > r.opts.CapacityReserve {
+		capEff -= r.opts.CapacityReserve
+	} else {
+		capEff = 0
+	}
+	committed := r.sys.Used(memsim.TierFast)
+	projected := committed + delta.PromoteBytes
+	if projected > delta.DemoteBytes {
+		projected -= delta.DemoteBytes
+	} else {
+		projected = 0
+	}
+	target := governor.DemotionTarget(projected, capEff,
+		r.govCfg.HighWatermark, r.govCfg.LowWatermark)
+	sched := migrate.Schedule{}
+	for _, rg := range delta.Demotions {
+		sched.Demotions = append(sched.Demotions, migrate.Region{Base: rg.Base, Size: rg.Size})
+	}
+	for _, c := range cands {
+		if gi.pressureBytes >= target {
+			break
+		}
+		sched.Demotions = append(sched.Demotions, migrate.Region{Base: c.Range.Base, Size: c.Range.Size})
+		gi.pressureBytes += c.Range.Size
+	}
+	for _, rg := range delta.Promotions {
+		sched.Promotions = append(sched.Promotions, migrate.Region{Base: rg.Base, Size: rg.Size})
+	}
+	gi.emptyDelta = sched.Empty()
+
+	if gi.decision == governor.DecisionProbe && !sched.Empty() {
+		// Half-open: probe with the single smallest region (a
+		// promotion if there is one — it exercises the fast tier the
+		// failures came from) instead of the whole schedule.
+		if len(sched.Promotions) > 0 {
+			sched = migrate.Schedule{Promotions: []migrate.Region{smallestRegion(sched.Promotions)}}
+		} else {
+			sched = migrate.Schedule{Demotions: []migrate.Region{smallestRegion(sched.Demotions)}}
+		}
+	}
+
+	pre := r.objectChecksums()
+	var sink migrate.EventSink
+	if r.rec.Enabled() {
+		sink = func(ev migrate.Event) { r.emitMigrationEvent(optStart, ev) }
+	}
+	res, err := migrate.RunSchedule(r.engine, r.sys, sched, sink)
+	st := res.Merged
+	r.migStats = &st
+	r.simNS.Add(uint64(st.Seconds * 1e9))
+	if err != nil {
+		// Unrecoverable (failed rollback): degrade the breaker and
+		// surface the error.
+		r.breaker.Observe(true)
+		return finish(), fmt.Errorf("atmem: migration: %w", err)
+	}
+
+	// Invalidate stale TLB/cache entries for exactly the committed
+	// slices, in either direction.
+	for _, a := range r.accessors {
+		for _, rg := range st.Moved {
+			a.InvalidateTLBRange(rg.Base, rg.Size)
+			a.InvalidateCacheRange(rg.Base, rg.Size)
+		}
+	}
+	// Residency follows commits, never plans: only ranges whose remap
+	// committed change state, so a rolled-back region keeps both its
+	// placement and its residency.
+	for _, rg := range res.Demotions.Moved {
+		r.markMovedRegion(rg, false)
+	}
+	for _, rg := range res.Promotions.Moved {
+		r.markMovedRegion(rg, true)
+	}
+	gi.promotedBytes = res.Promotions.BytesMoved
+	gi.demotedBytes = res.Demotions.BytesMoved
+	gi.regionsDemoted = len(res.Demotions.Moved)
+
+	r.breaker.Observe(st.RegionsSkipped > 0)
+	if err := r.verifyMigrationInvariants(pre); err != nil {
+		return finish(), fmt.Errorf("atmem: post-migration invariant violated: %w", err)
+	}
+	return finish(), nil
+}
+
+// registeredFastBytes sums the fast-tier bytes of every registered
+// object, from the simulator's ground-truth page table.
+func (r *Runtime) registeredFastBytes() uint64 {
+	var n uint64
+	for _, do := range r.reg.Objects() {
+		n += r.sys.BytesOnTier(do.Base, do.Size)[memsim.TierFast]
+	}
+	return n
+}
+
+// markMovedRegion resolves the object containing a committed migration
+// range and updates its residency. Regions are built from per-object
+// chunk ranges and objects are page-aligned, so a range never spans
+// objects.
+func (r *Runtime) markMovedRegion(rg migrate.Region, fast bool) {
+	if o, _, ok := r.reg.Find(rg.Base); ok {
+		r.resid.MarkMoved(o, rg.Base, rg.Size, fast)
+	}
+}
+
+func smallestRegion(regions []migrate.Region) migrate.Region {
+	best := regions[0]
+	for _, rg := range regions[1:] {
+		if rg.Size < best.Size {
+			best = rg
+		}
+	}
+	return best
+}

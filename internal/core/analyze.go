@@ -156,6 +156,19 @@ func AnalyzeObserved(r *Registry, period uint64, budgetBytes uint64, obs StageOb
 		if restBytes > 0 {
 			reference := (totalMass - op.Local.MeanPR*float64(op.Object.Size)) / restBytes
 			rescue = cfg.UniformHotFactor * reference * epsScale * epsScale
+			if rescue == 0 && op.Local.MeanPR > 0 && op.Local.NumCritical == 0 {
+				// The rest of the footprint was never sampled, so the
+				// reference density is exactly zero — and the local stage
+				// found no internal structure to select either (a Uniform
+				// object). Any sampled chunk is infinitely hotter than the
+				// idle reference. This shape is common under per-epoch
+				// profiling (an epoch samples only what it touched);
+				// without this floor a uniformly-hot object next to idle
+				// ones would select nothing. Objects with a local knee
+				// selection keep it unchanged: the rescue never widens a
+				// skewed selection against a zero reference.
+				rescue = math.SmallestNonzeroFloat64
+			}
 		} else if op.Local.MeanPR > 0 {
 			// A sole object competes with nothing: any sampled chunk
 			// qualifies (the capacity budget still bounds the plan).

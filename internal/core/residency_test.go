@@ -1,0 +1,238 @@
+package core
+
+import "testing"
+
+// residencyObj hand-builds a DataObject with a fixed chunk size, outside
+// the registry (Advance and MarkMoved only need the geometry).
+func residencyObj(base, size, chunkSize uint64) *DataObject {
+	n := int((size + chunkSize - 1) / chunkSize)
+	return &DataObject{
+		Name:      "t",
+		Base:      base,
+		Size:      size,
+		ChunkSize: chunkSize,
+		NumChunks: n,
+	}
+}
+
+// planFor hand-builds a single-object plan selecting the given chunk
+// ranges, with per-chunk priorities pr (len NumChunks; nil = all zero).
+func planFor(o *DataObject, pr []float64, sel ...[2]int) *Plan {
+	if pr == nil {
+		pr = make([]float64, o.NumChunks)
+	}
+	op := ObjectPlan{Object: o, Local: LocalSelection{PR: pr}}
+	for _, s := range sel {
+		lo, _ := o.ChunkRange(s[0])
+		_, hi := o.ChunkRange(s[1])
+		op.Ranges = append(op.Ranges, Range{Base: lo, Size: hi - lo})
+	}
+	return &Plan{Objects: []ObjectPlan{op}}
+}
+
+// commit applies a delta to residency the way the runtime does after a
+// fully successful migration: every range of both directions committed.
+func commit(r *Residency, o *DataObject, d Delta) {
+	for _, rg := range d.Demotions {
+		r.MarkMoved(o, rg.Base, rg.Size, false)
+	}
+	for _, rg := range d.Promotions {
+		r.MarkMoved(o, rg.Base, rg.Size, true)
+	}
+}
+
+func TestAdvancePromotesThenConverges(t *testing.T) {
+	o := residencyObj(0x1000, 8<<10, 1<<10) // 8 chunks of 1 KiB
+	r := NewResidency()
+	plan := planFor(o, nil, [2]int{2, 4})
+
+	d, cands := r.Advance(plan, 2)
+	if len(d.Promotions) != 1 || len(d.Demotions) != 0 || len(cands) != 0 {
+		t.Fatalf("first epoch: delta %+v cands %v", d, cands)
+	}
+	if p := d.Promotions[0]; p.Base != 0x1000+2<<10 || p.Size != 3<<10 {
+		t.Fatalf("promotion range [%#x,+%d)", p.Base, p.Size)
+	}
+	if d.PromoteBytes != 3<<10 || d.ResidentSelectedBytes != 0 {
+		t.Fatalf("promote=%d residentSelected=%d", d.PromoteBytes, d.ResidentSelectedBytes)
+	}
+	commit(r, o, d)
+	if got := r.ResidentBytes(); got != 3<<10 {
+		t.Fatalf("ResidentBytes = %d, want %d", got, 3<<10)
+	}
+
+	// Same plan again: the delta is empty — nothing re-migrates.
+	d, cands = r.Advance(plan, 2)
+	if !d.Empty() || len(cands) != 0 {
+		t.Fatalf("steady state: delta %+v cands %v", d, cands)
+	}
+	if d.ResidentSelectedBytes != 3<<10 {
+		t.Fatalf("ResidentSelectedBytes = %d, want %d", d.ResidentSelectedBytes, 3<<10)
+	}
+}
+
+func TestAdvanceHysteresisDemotion(t *testing.T) {
+	o := residencyObj(0, 8<<10, 1<<10)
+	r := NewResidency()
+	d, _ := r.Advance(planFor(o, nil, [2]int{2, 4}), 2)
+	commit(r, o, d)
+
+	// Hot set shifts to chunks 5–6. Epoch 1 after the shift: chunks 2–4
+	// are cold for one epoch — candidates, not yet demotions.
+	shifted := planFor(o, nil, [2]int{5, 6})
+	d, cands := r.Advance(shifted, 2)
+	if len(d.Promotions) != 1 || d.Promotions[0].Base != 5<<10 || d.Promotions[0].Size != 2<<10 {
+		t.Fatalf("shift promotions %+v", d.Promotions)
+	}
+	if len(d.Demotions) != 0 {
+		t.Fatalf("premature demotions %+v", d.Demotions)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates %v, want chunks 2,3,4", cands)
+	}
+	if got := r.ColdEpochs(o, 3); got != 1 {
+		t.Fatalf("cold(3) = %d, want 1", got)
+	}
+	commit(r, o, d)
+
+	// Epoch 2: the hysteresis window expires; chunks 2–4 demote as one
+	// merged range and stop being candidates.
+	d, cands = r.Advance(shifted, 2)
+	if len(d.Promotions) != 0 || len(cands) != 0 {
+		t.Fatalf("epoch 2 delta %+v cands %v", d, cands)
+	}
+	if len(d.Demotions) != 1 || d.Demotions[0].Base != 2<<10 || d.Demotions[0].Size != 3<<10 {
+		t.Fatalf("demotions %+v", d.Demotions)
+	}
+	if d.DemoteBytes != 3<<10 {
+		t.Fatalf("DemoteBytes = %d", d.DemoteBytes)
+	}
+	commit(r, o, d)
+	if got := r.ResidentBytes(); got != 2<<10 {
+		t.Fatalf("ResidentBytes = %d, want %d", got, 2<<10)
+	}
+
+	// Epoch 3: converged again.
+	if d, cands = r.Advance(shifted, 2); !d.Empty() || len(cands) != 0 {
+		t.Fatalf("post-demotion delta %+v cands %v", d, cands)
+	}
+}
+
+func TestAdvanceReselectionResetsColdCounter(t *testing.T) {
+	o := residencyObj(0, 4<<10, 1<<10)
+	r := NewResidency()
+	hot := planFor(o, nil, [2]int{0, 1})
+	d, _ := r.Advance(hot, 3)
+	commit(r, o, d)
+
+	cold := planFor(o, nil, [2]int{2, 3})
+	d, _ = r.Advance(cold, 3)
+	commit(r, o, d)
+	d, _ = r.Advance(cold, 3)
+	commit(r, o, d)
+	if got := r.ColdEpochs(o, 0); got != 2 {
+		t.Fatalf("cold(0) = %d, want 2", got)
+	}
+
+	// Chunks 0–1 get hot again one epoch before expiry: no demotion, and
+	// the counter restarts from zero if they go cold later.
+	d, _ = r.Advance(planFor(o, nil, [2]int{0, 3}), 3)
+	if len(d.Demotions) != 0 {
+		t.Fatalf("unexpected demotions %+v", d.Demotions)
+	}
+	if got := r.ColdEpochs(o, 0); got != 0 {
+		t.Fatalf("cold(0) after reselection = %d, want 0", got)
+	}
+}
+
+func TestAdvanceCandidatesColdestFirst(t *testing.T) {
+	o := residencyObj(0, 4<<10, 1<<10)
+	r := NewResidency()
+	pr := []float64{3, 1, 2, 0}
+	d, _ := r.Advance(planFor(o, pr, [2]int{0, 3}), 2)
+	commit(r, o, d)
+
+	// Everything resident, nothing selected: one cold epoch in, all four
+	// chunks are candidates ordered by ascending priority (3,1,2,0 →
+	// chunks 3,1,2,0).
+	_, cands := r.Advance(planFor(o, pr), 2)
+	if len(cands) != 4 {
+		t.Fatalf("candidates %v", cands)
+	}
+	wantOrder := []uint64{3 << 10, 1 << 10, 2 << 10, 0}
+	for i, want := range wantOrder {
+		if cands[i].Range.Base != want {
+			t.Errorf("candidate %d at %#x, want %#x", i, cands[i].Range.Base, want)
+		}
+	}
+
+	// Equal priorities tie-break by address.
+	r2 := NewResidency()
+	flat := []float64{1, 1, 1, 1}
+	d, _ = r2.Advance(planFor(o, flat, [2]int{0, 3}), 2)
+	commit(r2, o, d)
+	_, cands = r2.Advance(planFor(o, flat), 2)
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Range.Base >= cands[i].Range.Base {
+			t.Fatalf("tie-break out of address order: %v", cands)
+		}
+	}
+}
+
+func TestMarkMovedPartialCoverageAndTailClip(t *testing.T) {
+	// 3 chunks of 1 KiB plus a short 512 B tail chunk.
+	o := residencyObj(0, 3<<10|512, 1<<10)
+	r := NewResidency()
+
+	// A range covering only half of chunk 1 must not flip it.
+	r.MarkMoved(o, 0, 1<<10|512, true)
+	if !r.Resident(o, 0) || r.Resident(o, 1) {
+		t.Fatalf("partial coverage flipped wrong chunks: %v %v",
+			r.Resident(o, 0), r.Resident(o, 1))
+	}
+
+	// A page-aligned move extending past the object's end still covers
+	// the short tail chunk.
+	r.MarkMoved(o, 3<<10, 4<<10, true)
+	if !r.Resident(o, 3) {
+		t.Fatal("tail chunk not marked despite full logical coverage")
+	}
+	if got := r.ResidentBytes(); got != 1<<10+512 {
+		t.Fatalf("ResidentBytes = %d, want %d", got, 1<<10+512)
+	}
+
+	// Demotion clears.
+	r.MarkMoved(o, 0, 1<<10, false)
+	if r.Resident(o, 0) {
+		t.Fatal("demotion did not clear residency")
+	}
+}
+
+func TestDropForgetsObjectState(t *testing.T) {
+	o := residencyObj(0x4000, 2<<10, 1<<10)
+	r := NewResidency()
+	d, _ := r.Advance(planFor(o, nil, [2]int{0, 1}), 2)
+	commit(r, o, d)
+	if !r.Tracked(o.Base) || r.ResidentBytes() == 0 {
+		t.Fatal("setup failed")
+	}
+	r.Drop(o.Base)
+	if r.Tracked(o.Base) || r.ResidentBytes() != 0 {
+		t.Fatal("Drop left state behind")
+	}
+	if r.Resident(o, 0) || r.ColdEpochs(o, 0) != 0 {
+		t.Fatal("dropped object still reports residency")
+	}
+}
+
+func TestSelectedChunksIgnoresPartialTail(t *testing.T) {
+	o := residencyObj(0, 4<<10, 1<<10)
+	op := &ObjectPlan{Object: o, Ranges: []Range{{Base: 0, Size: 2<<10 | 512}}}
+	sel := selectedChunks(op)
+	want := []bool{true, true, false, false}
+	for j, w := range want {
+		if sel[j] != w {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+}

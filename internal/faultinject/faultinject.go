@@ -167,6 +167,18 @@ func (in *Injector) Fired() int {
 	return len(in.events)
 }
 
+// Disarm drops every armed rule: subsequent Checks pass, while call
+// counters and recorded events survive for assertions. It models the
+// fault condition clearing mid-run (the storm ends, the flaky device
+// recovers) — the injected history stays observable, but nothing new
+// fires. Disarming is permanent: a later Reset replays an empty
+// schedule.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sched.Faults = nil
+}
+
 // Reset clears call counters, fire counts, recorded events, and reseeds
 // the RNG, so one injector can replay its schedule from the start.
 func (in *Injector) Reset() {

@@ -122,3 +122,29 @@ func TestZeroScheduleInjectsNothing(t *testing.T) {
 		}
 	}
 }
+
+func TestDisarmStopsFiringKeepsHistory(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{{Op: OpReserve, Prob: 1}}})
+	for i := 0; i < 3; i++ {
+		if in.Check(OpReserve) == nil {
+			t.Fatalf("armed call %d did not fault", i+1)
+		}
+	}
+	in.Disarm()
+	for i := 0; i < 3; i++ {
+		if err := in.Check(OpReserve); err != nil {
+			t.Fatalf("disarmed call faulted: %v", err)
+		}
+	}
+	if in.Fired() != 3 {
+		t.Errorf("fired %d, want the 3 pre-disarm fires", in.Fired())
+	}
+	if in.Calls(OpReserve) != 6 {
+		t.Errorf("calls %d, want 6 (disarmed calls still counted)", in.Calls(OpReserve))
+	}
+	// Disarming is permanent: Reset replays an empty schedule.
+	in.Reset()
+	if err := in.Check(OpReserve); err != nil {
+		t.Fatalf("post-reset call faulted: %v", err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package governor makes repeated profile→analyze→migrate epochs safe
+// and self-stabilizing. It supplies the two control mechanisms the
+// runtime's epoch loop composes with residency-aware delta planning
+// (internal/core):
+//
+//   - pressure watermarks: when fast-tier occupancy crosses a high
+//     watermark, cold resident data is demoted coldest-first down to a
+//     low watermark before new promotions are admitted, so a shrinking
+//     placement budget degrades placement quality instead of failing
+//     with capacity errors;
+//
+//   - a migration circuit breaker: consecutive degraded epochs (skipped
+//     regions, unrecoverable migration errors) open the breaker, which
+//     skips migration entirely for an exponentially-backed-off cooldown
+//     of epochs, then half-open probes with a single small region before
+//     closing again.
+//
+// This is the hysteresis-driven online guidance loop of Olson et al.
+// (Online Application Guidance for Heterogeneous Memory Systems) and the
+// phase-based runtime management of Unimem, applied to ATMem's interval
+// re-optimization (§5 of the paper).
+package governor
+
+import "fmt"
+
+// Config holds the governor's tunables. The zero value is not usable
+// directly; call WithDefaults.
+type Config struct {
+	// HighWatermark is the fast-tier occupancy fraction (of effective
+	// capacity) above which pressure demotion engages. Default 0.90.
+	HighWatermark float64
+	// LowWatermark is the occupancy fraction pressure demotion drains
+	// down to before admitting new promotions. Default 0.75.
+	LowWatermark float64
+	// DemoteAfterEpochs is the hysteresis: a fast-resident chunk must be
+	// outside the plan's selection for this many consecutive epochs
+	// before it is demoted. Default 2.
+	DemoteAfterEpochs int
+	// BreakerThreshold is how many consecutive degraded epochs open the
+	// breaker. Default 2.
+	BreakerThreshold int
+	// BreakerCooldown is the initial open-state cooldown in epochs; each
+	// failed half-open probe doubles it (capped at MaxCooldown). A
+	// successful close resets it. Default 2.
+	BreakerCooldown int
+	// MaxCooldown caps the exponential backoff. Default 32.
+	MaxCooldown int
+}
+
+// WithDefaults fills zero fields with the defaults above.
+func (c Config) WithDefaults() Config {
+	if c.HighWatermark == 0 {
+		c.HighWatermark = 0.90
+	}
+	if c.LowWatermark == 0 {
+		c.LowWatermark = 0.75
+	}
+	if c.DemoteAfterEpochs == 0 {
+		c.DemoteAfterEpochs = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 2
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2
+	}
+	if c.MaxCooldown == 0 {
+		c.MaxCooldown = 32
+	}
+	return c
+}
+
+// Validate reports configuration errors (call after WithDefaults).
+func (c Config) Validate() error {
+	if c.HighWatermark <= 0 || c.HighWatermark > 1 {
+		return fmt.Errorf("governor: HighWatermark must be in (0,1]")
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark >= c.HighWatermark {
+		return fmt.Errorf("governor: LowWatermark must be in (0, HighWatermark)")
+	}
+	if c.DemoteAfterEpochs < 1 {
+		return fmt.Errorf("governor: DemoteAfterEpochs must be at least 1")
+	}
+	if c.BreakerThreshold < 1 {
+		return fmt.Errorf("governor: BreakerThreshold must be at least 1")
+	}
+	if c.BreakerCooldown < 1 {
+		return fmt.Errorf("governor: BreakerCooldown must be at least 1")
+	}
+	if c.MaxCooldown < c.BreakerCooldown {
+		return fmt.Errorf("governor: MaxCooldown below BreakerCooldown")
+	}
+	return nil
+}
+
+// DemotionTarget returns how many bytes pressure demotion must move off
+// the fast tier: zero while the projected occupancy stays at or below
+// high·capacity, otherwise the excess over low·capacity (draining past
+// the low watermark is what gives the mechanism hysteresis — occupancy
+// must climb the whole high−low band before demotion engages again).
+func DemotionTarget(projected, capacity uint64, high, low float64) uint64 {
+	if capacity == 0 {
+		return 0
+	}
+	if float64(projected) <= high*float64(capacity) {
+		return 0
+	}
+	floor := uint64(low * float64(capacity))
+	if projected <= floor {
+		return 0
+	}
+	return projected - floor
+}
+
+// State is the circuit breaker's state.
+type State int
+
+const (
+	// StateClosed: migration runs normally.
+	StateClosed State = iota
+	// StateOpen: migration is skipped while the cooldown runs down.
+	StateOpen
+	// StateHalfOpen: the next epoch probes with a single small region.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Decision is what the breaker allows an epoch to do.
+type Decision int
+
+const (
+	// DecisionRun: migrate the full delta schedule.
+	DecisionRun Decision = iota
+	// DecisionProbe: migrate only a single small region.
+	DecisionProbe
+	// DecisionSkip: run no migration this epoch.
+	DecisionSkip
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionRun:
+		return "run"
+	case DecisionProbe:
+		return "probe"
+	case DecisionSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// Transition records one breaker state change, for telemetry and
+// reports.
+type Transition struct {
+	// Epoch is the 1-based epoch at which the transition fired.
+	Epoch int
+	// From and To are the states around the transition.
+	From, To State
+	// Cooldown is the open-state cooldown in epochs (To == StateOpen).
+	Cooldown int
+	// Reason explains the transition ("threshold", "cooldown elapsed",
+	// "probe failed", "probe succeeded").
+	Reason string
+}
+
+// Breaker is the migration circuit breaker: a per-epoch state machine
+// driven by one Decide call at epoch start and one Observe call with the
+// epoch's migration outcome (skipped epochs observe nothing). It is not
+// safe for concurrent use; the runtime serializes epochs.
+type Breaker struct {
+	threshold    int
+	baseCooldown int
+	maxCooldown  int
+
+	state    State
+	bad      int // consecutive degraded epochs while closed
+	cooldown int // current backoff length in epochs
+	wait     int // epochs remaining in the open state
+	epoch    int
+
+	transitions []Transition
+}
+
+// NewBreaker builds a closed breaker from the (defaulted, validated)
+// config.
+func NewBreaker(cfg Config) *Breaker {
+	return &Breaker{
+		threshold:    cfg.BreakerThreshold,
+		baseCooldown: cfg.BreakerCooldown,
+		maxCooldown:  cfg.MaxCooldown,
+		cooldown:     cfg.BreakerCooldown,
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State { return b.state }
+
+// Epoch returns the number of Decide calls so far.
+func (b *Breaker) Epoch() int { return b.epoch }
+
+// Cooldown returns the current backoff length in epochs.
+func (b *Breaker) Cooldown() int { return b.cooldown }
+
+// Transitions returns every state change so far, in order.
+func (b *Breaker) Transitions() []Transition { return b.transitions }
+
+// Decide starts a new epoch and returns what it may do. An open breaker
+// counts the epoch against its cooldown; when the cooldown has elapsed
+// it moves to half-open and the epoch probes.
+func (b *Breaker) Decide() Decision {
+	b.epoch++
+	switch b.state {
+	case StateHalfOpen:
+		return DecisionProbe
+	case StateOpen:
+		if b.wait > 0 {
+			b.wait--
+			return DecisionSkip
+		}
+		b.transition(StateHalfOpen, 0, "cooldown elapsed")
+		return DecisionProbe
+	default:
+		return DecisionRun
+	}
+}
+
+// Observe feeds the epoch's migration outcome back: degraded means at
+// least one region was skipped (or the migration failed outright).
+// Closed epochs count consecutive degradations toward the threshold; a
+// half-open probe either closes the breaker (resetting the backoff) or
+// reopens it with the cooldown doubled. Skipped epochs must not call
+// Observe — they ran no migration and carry no signal.
+func (b *Breaker) Observe(degraded bool) {
+	switch b.state {
+	case StateClosed:
+		if !degraded {
+			b.bad = 0
+			return
+		}
+		b.bad++
+		if b.bad >= b.threshold {
+			b.open("threshold")
+		}
+	case StateHalfOpen:
+		if degraded {
+			b.cooldown *= 2
+			if b.cooldown > b.maxCooldown {
+				b.cooldown = b.maxCooldown
+			}
+			b.open("probe failed")
+			return
+		}
+		b.bad = 0
+		b.cooldown = b.baseCooldown
+		b.transition(StateClosed, 0, "probe succeeded")
+	}
+}
+
+func (b *Breaker) open(reason string) {
+	b.wait = b.cooldown
+	b.transition(StateOpen, b.cooldown, reason)
+}
+
+func (b *Breaker) transition(to State, cooldown int, reason string) {
+	b.transitions = append(b.transitions, Transition{
+		Epoch: b.epoch, From: b.state, To: to, Cooldown: cooldown, Reason: reason,
+	})
+	b.state = to
+}

@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"atmem"
+	"atmem/apps"
+	"atmem/internal/faultinject"
+	"atmem/internal/governor"
+	"atmem/internal/memsim"
+	"atmem/internal/telemetry"
+)
+
+// This file implements the adaptive-pressure scenario: the epoch-
+// adaptive governor driven through a workload shift (BFS's hot set →
+// PageRank's hot set) on one shared runtime while the fast-tier budget
+// tightens underneath it, with and without injected migration faults.
+// It is the end-to-end exercise of the governor's three mechanisms —
+// residency deltas, watermark demotion, and the circuit breaker — on
+// real kernels rather than synthetic arrays.
+
+// AdaptiveScenario configures one adaptive-pressure run.
+type AdaptiveScenario struct {
+	// Dataset names the input graph (both kernels load it).
+	Dataset string
+	// BFSEpochs, ShiftEpochs, and HoldEpochs structure the epoch
+	// sequence: BFS-hot epochs at ReserveStart, then PR epochs during
+	// which the capacity reserve tightens linearly to ReserveEnd, then
+	// PR epochs holding the final reserve (the convergence window).
+	BFSEpochs, ShiftEpochs, HoldEpochs int
+	// ReserveStart and ReserveEnd bound the fast-tier capacity reserve
+	// (ReserveEnd >= ReserveStart: the budget only shrinks).
+	ReserveStart, ReserveEnd uint64
+	// Governor configures the placement governor; Enabled is forced on.
+	Governor atmem.GovernorOptions
+	// FaultSchedule, when non-nil, arms fault injection for the
+	// scenario.
+	FaultSchedule *faultinject.Schedule
+	// FaultEpochs, when non-zero, disarms the schedule after that many
+	// epochs (Runtime.DisarmFaults) — the storm ends, and the breaker
+	// must recover. Zero keeps the faults armed throughout.
+	FaultEpochs int
+	// TraceDir, when non-empty, records telemetry and writes the trace
+	// artifacts there.
+	TraceDir string
+}
+
+// DefaultAdaptiveScenario returns the scenario the adaptive-pressure
+// experiment and the CI smoke run use: pokec on the NVM-DRAM testbed
+// with the reserve tightened until the two hot sets no longer fit side
+// by side.
+func DefaultAdaptiveScenario() AdaptiveScenario {
+	return AdaptiveScenario{
+		Dataset:      "pokec",
+		BFSEpochs:    3,
+		ShiftEpochs:  4,
+		HoldEpochs:   14,
+		ReserveStart: 92 << 20,
+		ReserveEnd:   94 << 20,
+		Governor: atmem.GovernorOptions{
+			Enabled:           true,
+			HighWatermark:     0.90,
+			LowWatermark:      0.70,
+			DemoteAfterEpochs: 2,
+			BreakerThreshold:  2,
+			BreakerCooldown:   1,
+			MaxCooldown:       4,
+		},
+	}
+}
+
+// adaptiveFaultEpochs bounds the fault storm of the faulted variant.
+// The breaker's trajectory under an every-reservation-fails storm is
+// fixed by the governor config alone (epochs 1-2 degrade and open it;
+// half-open probes at epochs 4 and 7 fail; backoff doubles 1→2→4), so
+// disarming after epoch 11 makes the epoch-12 probe the first to run
+// fault-free: it succeeds, the breaker closes, and the hold window
+// still has a long tail to converge in. An epoch bound — unlike a fire
+// budget — is independent of how many regions each degraded epoch's
+// staging ladder happens to burn, which varies with profiler
+// interleaving (e.g. under -race).
+const adaptiveFaultEpochs = 11
+
+// AdaptiveFaultSchedule returns the fault schedule the faulted variant
+// uses: every staging reservation fails, for as long as the schedule
+// stays armed (the scenario disarms it after FaultEpochs). The breaker
+// must open under the failures and close again once probes start
+// succeeding.
+func AdaptiveFaultSchedule() *faultinject.Schedule {
+	return &faultinject.Schedule{Faults: []faultinject.Fault{
+		{Op: faultinject.OpReserve, Prob: 1, Err: memsim.ErrNoCapacity},
+	}}
+}
+
+// AdaptiveEpoch is one epoch of the scenario, for reports and asserts.
+type AdaptiveEpoch struct {
+	// Epoch is the runtime epoch number (1-based).
+	Epoch int
+	// Workload names the kernel the epoch ran ("bfs" or "pr").
+	Workload string
+	// Reserve is the capacity reserve in force during the epoch.
+	Reserve uint64
+	// Seconds is the simulated time of the epoch's iteration.
+	Seconds float64
+	// Samples counts the profiler samples the epoch attributed.
+	Samples int
+	// Migration is the epoch's governed migration report.
+	Migration atmem.MigrationReport
+}
+
+// AdaptiveResult is the outcome of one adaptive-pressure scenario.
+type AdaptiveResult struct {
+	Epochs []AdaptiveEpoch
+	// Transitions is the breaker's full transition log.
+	Transitions []governor.Transition
+	// FinalState is the breaker state after the last epoch.
+	FinalState governor.State
+	// ResidentBytes is the governed fast-resident footprint at the end.
+	ResidentBytes uint64
+	// FaultEvents counts injector fires over the whole scenario.
+	FaultEvents int
+	// TracePath is the written Chrome trace (empty without TraceDir).
+	TracePath string
+}
+
+// ShiftStart returns the index into Epochs of the first PR epoch.
+func (r *AdaptiveResult) ShiftStart() int {
+	for i, e := range r.Epochs {
+		if e.Workload == "pr" {
+			return i
+		}
+	}
+	return len(r.Epochs)
+}
+
+// HoldStart returns the index into Epochs of the first PR epoch at the
+// final (largest) reserve — the start of the convergence window.
+func (r *AdaptiveResult) HoldStart() int {
+	for i := r.ShiftStart(); i < len(r.Epochs); i++ {
+		if r.Epochs[i].Reserve == r.Epochs[len(r.Epochs)-1].Reserve {
+			return i
+		}
+	}
+	return len(r.Epochs)
+}
+
+// RunAdaptivePressure executes the scenario on a fresh governed runtime:
+// both kernels set up side by side, BFS epochs, the shift to PR under a
+// tightening reserve, and the hold window. It verifies the scenario's
+// safety net itself — graph data bit-identical (CRC) across every epoch,
+// kernel results validated against their references, no leaked staging
+// reservation, and a consistent capacity ledger — and returns the
+// per-epoch reports for behavioural assertions.
+func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
+	if sc.ReserveEnd < sc.ReserveStart {
+		return nil, fmt.Errorf("harness: adaptive reserve must tighten: %d < %d", sc.ReserveEnd, sc.ReserveStart)
+	}
+	sc.Governor.Enabled = true
+	opts := atmem.Options{
+		Policy:          atmem.PolicyATMem,
+		Governor:        sc.Governor,
+		FaultSchedule:   sc.FaultSchedule,
+		CapacityReserve: sc.ReserveStart,
+	}
+	if sc.TraceDir != "" {
+		opts.Recorder = telemetry.NewRecorder()
+	}
+	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), opts)
+	if err != nil {
+		return nil, err
+	}
+	bfs, err := apps.New("bfs")
+	if err != nil {
+		return nil, err
+	}
+	pr, err := apps.New("pr")
+	if err != nil {
+		return nil, err
+	}
+	// The kernels prefix their object names (bfs.*, pr.*), so they share
+	// the runtime without collisions.
+	if err := bfs.Setup(rt, sc.Dataset); err != nil {
+		return nil, fmt.Errorf("harness: adaptive bfs setup: %w", err)
+	}
+	if err := pr.Setup(rt, sc.Dataset); err != nil {
+		return nil, fmt.Errorf("harness: adaptive pr setup: %w", err)
+	}
+	crcBefore := graphDataCRC(rt)
+
+	res := &AdaptiveResult{}
+	runOne := func(workload string, kern apps.Kernel, reserve uint64) error {
+		rt.SetCapacityReserve(reserve)
+		var iter apps.IterationResult
+		er, err := rt.RunEpoch(fmt.Sprintf("%s-%d", workload, rt.Epoch()+1), func() {
+			iter = kern.RunIteration(rt)
+		})
+		if err != nil {
+			return fmt.Errorf("harness: adaptive epoch %d (%s): %w", rt.Epoch(), workload, err)
+		}
+		if !er.Optimized {
+			return fmt.Errorf("harness: adaptive epoch %d (%s) attributed no samples", rt.Epoch(), workload)
+		}
+		res.Epochs = append(res.Epochs, AdaptiveEpoch{
+			Epoch:     er.Epoch,
+			Workload:  workload,
+			Reserve:   reserve,
+			Seconds:   iter.Seconds,
+			Samples:   er.Samples,
+			Migration: er.Migration,
+		})
+		if sc.FaultEpochs > 0 && rt.Epoch() == sc.FaultEpochs {
+			rt.DisarmFaults()
+		}
+		return nil
+	}
+
+	for i := 0; i < sc.BFSEpochs; i++ {
+		if err := runOne("bfs", bfs, sc.ReserveStart); err != nil {
+			return res, err
+		}
+	}
+	for i := 1; i <= sc.ShiftEpochs; i++ {
+		reserve := sc.ReserveStart +
+			(sc.ReserveEnd-sc.ReserveStart)*uint64(i)/uint64(sc.ShiftEpochs)
+		if err := runOne("pr", pr, reserve); err != nil {
+			return res, err
+		}
+	}
+	for i := 0; i < sc.HoldEpochs; i++ {
+		if err := runOne("pr", pr, sc.ReserveEnd); err != nil {
+			return res, err
+		}
+	}
+
+	res.Transitions = rt.BreakerTransitions()
+	res.FinalState = rt.BreakerState()
+	res.ResidentBytes = rt.ResidentBytes()
+	res.FaultEvents = len(rt.FaultEvents())
+
+	// Safety net: whatever the governor did, it must not have harmed the
+	// data or the simulator's books.
+	if crcAfter := graphDataCRC(rt); crcAfter != crcBefore {
+		return res, fmt.Errorf("harness: adaptive graph data CRC changed: %08x -> %08x", crcBefore, crcAfter)
+	}
+	if err := bfs.Validate(); err != nil {
+		return res, fmt.Errorf("harness: adaptive: %w", err)
+	}
+	if err := pr.Validate(); err != nil {
+		return res, fmt.Errorf("harness: adaptive: %w", err)
+	}
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		if leaked := rt.System().Reserved(t); leaked != 0 {
+			return res, fmt.Errorf("harness: adaptive leaked %d reserved bytes on %s", leaked, t)
+		}
+	}
+	if err := rt.System().CheckConsistency(); err != nil {
+		return res, fmt.Errorf("harness: adaptive: %w", err)
+	}
+
+	if sc.TraceDir != "" {
+		stem := fmt.Sprintf("nvm-adaptive-pressure-%s-%08x", sc.Dataset,
+			crc32.ChecksumIEEE([]byte(fmt.Sprintf("%+v", sc))))
+		path, err := writeTraceArtifactsStem(rt, sc.TraceDir, stem)
+		if err != nil {
+			return res, err
+		}
+		res.TracePath = path
+	}
+	return res, nil
+}
+
+// graphDataCRC checksums the immutable graph arrays (CSR offsets,
+// edges, weights) of every registered object. Kernel state arrays
+// (levels, ranks, frontiers) legitimately change each epoch and are
+// covered by kernel validation instead.
+func graphDataCRC(rt *atmem.Runtime) uint32 {
+	crc := crc32.NewIEEE()
+	for _, o := range rt.Objects() {
+		switch {
+		case strings.HasSuffix(o.Name(), ".offsets"),
+			strings.HasSuffix(o.Name(), ".edges"),
+			strings.HasSuffix(o.Name(), ".weights"):
+			crc.Write(o.Bytes())
+		}
+	}
+	return crc.Sum32()
+}
+
+// adaptivePressure is the experiment wrapper: the fault-free scenario
+// and the fault-injected one, each rendered as one row per epoch.
+func adaptivePressure(s *Suite) ([]*Report, error) {
+	variants := []struct {
+		id    string
+		title string
+		sched *faultinject.Schedule
+	}{
+		{"adaptive-pressure", "Epoch-adaptive governor: BFS→PR hot-set shift under a tightening fast-tier reserve (NVM-DRAM)", nil},
+		{"adaptive-pressure-faults", "Same scenario with every staging reservation failing through epoch 11", AdaptiveFaultSchedule()},
+	}
+	var out []*Report
+	for _, v := range variants {
+		sc := DefaultAdaptiveScenario()
+		sc.FaultSchedule = v.sched
+		if v.sched != nil {
+			sc.FaultEpochs = adaptiveFaultEpochs
+		}
+		sc.TraceDir = s.TraceDir
+		res, err := RunAdaptivePressure(sc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", v.id, err)
+		}
+		rep := &Report{
+			ID:    v.id,
+			Title: v.title,
+			Columns: []string{"epoch", "workload", "reserve(MiB)", "iter(s)",
+				"promoted", "demoted", "pressure", "resident", "breaker", "outcome"},
+		}
+		for _, e := range res.Epochs {
+			m := e.Migration
+			outcome := "moved"
+			switch {
+			case m.BreakerSkipped:
+				outcome = "skipped"
+			case m.DeltaEmpty:
+				outcome = "converged"
+			case m.RegionsSkipped > 0:
+				outcome = "degraded"
+			}
+			rep.AddRow(
+				fmt.Sprintf("%d", e.Epoch), e.Workload,
+				fmt.Sprintf("%d", e.Reserve>>20),
+				secs(e.Seconds),
+				fmt.Sprintf("%d", m.PromotedBytes),
+				fmt.Sprintf("%d", m.DemotedBytes),
+				fmt.Sprintf("%d", m.PressureDemotedBytes),
+				fmt.Sprintf("%d", m.ResidentBytes),
+				m.Breaker, outcome)
+		}
+		rep.AddNote("breaker transitions: %s; final state %s; %d fault fires; results validated and graph data CRC-identical across all %d epochs",
+			transitionSummary(res.Transitions), res.FinalState, res.FaultEvents, len(res.Epochs))
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// transitionSummary renders a breaker transition log as one cell-safe
+// string ("none" when the breaker never moved).
+func transitionSummary(trs []governor.Transition) string {
+	if len(trs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(trs))
+	for i, tr := range trs {
+		parts[i] = fmt.Sprintf("epoch %d %s→%s", tr.Epoch, tr.From, tr.To)
+	}
+	return strings.Join(parts, "; ")
+}

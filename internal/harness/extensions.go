@@ -22,6 +22,7 @@ func ExtensionExperiments() []Experiment {
 		{ID: "locality", Title: "Contiguity ablation: hub-ordered vs shuffled vs degree-ordered vertex ids", Run: locality},
 		{ID: "aggbw", Title: "Aggregate-bandwidth placement on independent channels (§9 extension, KNL)", Run: aggbw},
 		{ID: "robustness", Title: "Fault-injected migration: graceful degradation under staging/remap failures", Run: robustness},
+		{ID: "adaptive-pressure", Title: "Epoch-adaptive governor: hot-set shift under a tightening budget, with and without faults", Run: adaptivePressure},
 	}
 }
 
@@ -157,32 +158,45 @@ func aggbw(s *Suite) ([]*Report, error) {
 // (validated) — only performance may degrade.
 func robustness(s *Suite) ([]*Report, error) {
 	scenarios := []struct {
-		label string
-		sched *faultinject.Schedule
+		label    string
+		sched    *faultinject.Schedule
+		governed bool
 	}{
-		{"fault-free", nil},
+		{"fault-free", nil, false},
 		{"staging-nth1", &faultinject.Schedule{Faults: []faultinject.Fault{
-			{Op: faultinject.OpReserve, Nth: 1}}}},
+			{Op: faultinject.OpReserve, Nth: 1}}}, false},
 		{"remap-nth2", &faultinject.Schedule{Faults: []faultinject.Fault{
-			{Op: faultinject.OpRetier, Nth: 2}}}},
+			{Op: faultinject.OpRetier, Nth: 2}}}, false},
 		{"remap-storm", &faultinject.Schedule{Seed: 1, Faults: []faultinject.Fault{
-			{Op: faultinject.OpRetier, Prob: 0.5}}}},
+			{Op: faultinject.OpRetier, Prob: 0.5}}}, false},
 		{"all-reserves-fail", &faultinject.Schedule{Faults: []faultinject.Fault{
-			{Op: faultinject.OpReserve, Prob: 1}}}},
+			{Op: faultinject.OpReserve, Prob: 1}}}, false},
+		// Governed variants route the same run through Runtime.RunEpoch:
+		// the demoted/breaker columns come alive and the breaker absorbs
+		// the degraded epoch instead of only the per-region skip ladder.
+		{"governed-fault-free", nil, true},
+		{"governed-all-reserves-fail", &faultinject.Schedule{Faults: []faultinject.Fault{
+			{Op: faultinject.OpReserve, Prob: 1}}}, true},
 	}
 	rep := &Report{
 		ID:    "robustness",
 		Title: "PR on twitter under injected migration faults (NVM-DRAM)",
 		Columns: []string{"scenario", "iter(s)", "migrated", "retried",
-			"skipped", "skipped-bytes", "faults", "data-ratio", "validated"},
+			"skipped", "skipped-bytes", "demoted", "breaker", "faults",
+			"data-ratio", "validated"},
 	}
 	for _, sc := range scenarios {
 		res, err := s.Run(RunConfig{
 			Testbed: NVM, App: "pr", Dataset: "twitter", Policy: atmem.PolicyATMem,
-			FaultSchedule: sc.sched, FaultLabel: sc.label,
+			FaultSchedule: sc.sched, FaultLabel: sc.label, Governed: sc.governed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: robustness %s: %w", sc.label, err)
+		}
+		demoted, breaker := "-", "-"
+		if sc.governed {
+			demoted = fmt.Sprintf("%d", res.Migration.DemotedBytes)
+			breaker = res.Migration.Breaker
 		}
 		rep.AddRow(sc.label,
 			secs(res.IterSeconds),
@@ -190,10 +204,11 @@ func robustness(s *Suite) ([]*Report, error) {
 			fmt.Sprintf("%d", res.Migration.RegionsRetried),
 			fmt.Sprintf("%d", res.Migration.RegionsSkipped),
 			fmt.Sprintf("%d", res.Migration.SkippedBytes),
+			demoted, breaker,
 			fmt.Sprintf("%d", res.FaultEvents),
 			pct(res.DataRatio),
 			fmt.Sprintf("%t", res.Validated))
 	}
-	rep.AddNote("faults degrade placement (skipped regions stay on the large memory) but never correctness: every scenario validates, no reservation leaks, and rolled-back regions keep their translations")
+	rep.AddNote("faults degrade placement (skipped regions stay on the large memory) but never correctness: every scenario validates, no reservation leaks, and rolled-back regions keep their translations; governed rows run through RunEpoch and report the governor's demotions and breaker state")
 	return []*Report{rep}, nil
 }

@@ -66,6 +66,12 @@ type RunConfig struct {
 	// identity in the memoization key.
 	FaultSchedule *faultinject.Schedule
 	FaultLabel    string
+	// Governed enables the epoch-adaptive placement governor (see
+	// atmem.Options.Governor) and drives the profiled iteration plus
+	// Optimize through Runtime.RunEpoch, so the MigrationReport carries
+	// the governor's delta/demotion/breaker fields. Only meaningful
+	// with PolicyATMem.
+	Governed bool
 	// Telemetry attaches a telemetry recorder to the run (see
 	// atmem.Options.Recorder). Implied by a non-empty TraceDir.
 	Telemetry bool
@@ -76,10 +82,10 @@ type RunConfig struct {
 }
 
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s|%t|%s",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s|%t|%s|%t",
 		c.Testbed, c.App, c.Dataset, c.Policy, c.Mechanism, c.Epsilon,
 		c.SamplePeriod, c.BandwidthAware, c.SkipValidate, c.FaultLabel,
-		c.Telemetry, c.TraceDir)
+		c.Telemetry, c.TraceDir, c.Governed)
 }
 
 // RunResult is the outcome of one benchmark run.
@@ -127,6 +133,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		BandwidthAware: cfg.BandwidthAware,
 		FaultSchedule:  cfg.FaultSchedule,
 	}
+	if cfg.Governed && cfg.Policy == atmem.PolicyATMem {
+		opts.Governor.Enabled = true
+	}
 	if cfg.Telemetry || cfg.TraceDir != "" {
 		opts.Recorder = telemetry.NewRecorder()
 	}
@@ -148,18 +157,28 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	res := RunResult{Config: cfg}
-	if cfg.Policy == atmem.PolicyATMem {
+	switch {
+	case cfg.Policy == atmem.PolicyATMem && cfg.Governed:
+		er, err := rt.RunEpoch("profile", func() {
+			res.FirstIterSeconds = kern.RunIteration(rt).Seconds
+		})
+		if err != nil {
+			return res, fmt.Errorf("harness: %s epoch: %w", cfg.key(), err)
+		}
+		res.Samples = er.Samples
+		res.Migration = er.Migration
+	case cfg.Policy == atmem.PolicyATMem:
 		rt.ProfilingStart()
-	}
-	first := kern.RunIteration(rt)
-	res.FirstIterSeconds = first.Seconds
-	if cfg.Policy == atmem.PolicyATMem {
+		first := kern.RunIteration(rt)
+		res.FirstIterSeconds = first.Seconds
 		res.Samples = rt.ProfilingStop()
 		rep, err := rt.Optimize()
 		if err != nil {
 			return res, fmt.Errorf("harness: %s optimize: %w", cfg.key(), err)
 		}
 		res.Migration = rep
+	default:
+		res.FirstIterSeconds = kern.RunIteration(rt).Seconds
 	}
 	// One warm-up iteration before the measured one. The paper measures
 	// the iteration right after migration; at our ~1000x-scaled dataset
@@ -194,13 +213,19 @@ func Run(cfg RunConfig) (RunResult, error) {
 // embed the human-readable run coordinates plus a short hash of the full
 // configuration key, so sweep variants never collide.
 func writeTraceArtifacts(rt *atmem.Runtime, cfg RunConfig) (string, error) {
-	if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
-		return "", fmt.Errorf("harness: trace dir: %w", err)
-	}
 	stem := fmt.Sprintf("%s-%s-%s-%s-%08x", cfg.Testbed, cfg.App, cfg.Dataset,
 		cfg.Policy, crc32.ChecksumIEEE([]byte(cfg.key())))
+	return writeTraceArtifactsStem(rt, cfg.TraceDir, stem)
+}
+
+// writeTraceArtifactsStem writes a runtime's trace JSON, CSV timeline,
+// and chunk-heat dump as <dir>/<stem>.* and returns the trace path.
+func writeTraceArtifactsStem(rt *atmem.Runtime, dir, stem string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("harness: trace dir: %w", err)
+	}
 	write := func(name string, fn func(w io.Writer) error) (string, error) {
-		path := filepath.Join(cfg.TraceDir, name)
+		path := filepath.Join(dir, name)
 		f, err := os.Create(path)
 		if err != nil {
 			return "", fmt.Errorf("harness: trace artifact: %w", err)

@@ -328,6 +328,22 @@ func (s *System) FreeCapacity(t Tier) uint64 {
 	return s.P.Tiers[t].CapacityBytes - s.committedLocked(t)
 }
 
+// EffectiveOccupancy returns committed bytes on tier t as a fraction of
+// the tier's capacity after subtracting holdback bytes (a caller-owned
+// reserve, e.g. the runtime's CapacityReserve). The governor compares
+// this against its watermarks. Occupancy of a fully-held-back tier is
+// reported as 1 (maximally pressured), and the fraction may exceed 1
+// when committed bytes eat into the holdback.
+func (s *System) EffectiveOccupancy(t Tier, holdback uint64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cap := s.P.Tiers[t].CapacityBytes
+	if cap <= holdback {
+		return 1
+	}
+	return float64(s.committedLocked(t)) / float64(cap-holdback)
+}
+
 // TierOf returns the tier currently backing addr.
 func (s *System) TierOf(addr uint64) (Tier, bool) {
 	s.mu.Lock()

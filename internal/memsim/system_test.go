@@ -132,6 +132,63 @@ func TestRetierCapacityFailureLeavesStateIntact(t *testing.T) {
 	}
 }
 
+func TestRetierDemotionRoundTrip(t *testing.T) {
+	// The demotion direction (fast → slow) the governor relies on:
+	// accounting and placement must mirror the promotion path exactly.
+	s := NewSystem(testParams())
+	base, err := s.Alloc(HugePage, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, HugePage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used(TierFast) != 0 || s.Used(TierSlow) != HugePage {
+		t.Errorf("fast=%d slow=%d after demotion", s.Used(TierFast), s.Used(TierSlow))
+	}
+	if tier, _ := s.TierOf(base); tier != TierSlow {
+		t.Error("demoted page still on fast tier")
+	}
+	if err := s.Retier(base, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used(TierFast) != HugePage || s.Used(TierSlow) != 0 {
+		t.Errorf("fast=%d slow=%d after re-promotion", s.Used(TierFast), s.Used(TierSlow))
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveOccupancy(t *testing.T) {
+	s := NewSystem(testParams()) // 4 MiB fast tier
+	if got := s.EffectiveOccupancy(TierFast, 0); got != 0 {
+		t.Errorf("empty occupancy %v", got)
+	}
+	if _, err := s.Alloc(MiB, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EffectiveOccupancy(TierFast, 0); got != 0.25 {
+		t.Errorf("occupancy %v, want 0.25", got)
+	}
+	// A holdback shrinks the denominator: 1 MiB of 2 MiB effective.
+	if got := s.EffectiveOccupancy(TierFast, 2*MiB); got != 0.5 {
+		t.Errorf("held-back occupancy %v, want 0.5", got)
+	}
+	// Reservations count as committed.
+	if err := s.Reserve(MiB, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EffectiveOccupancy(TierFast, 0); got != 0.5 {
+		t.Errorf("occupancy with reservation %v, want 0.5", got)
+	}
+	s.Unreserve(MiB, TierFast)
+	// A holdback at or above capacity reads as fully pressured.
+	if got := s.EffectiveOccupancy(TierFast, 4*MiB); got != 1 {
+		t.Errorf("fully-held-back occupancy %v, want 1", got)
+	}
+}
+
 func TestReserveUnreserve(t *testing.T) {
 	s := NewSystem(testParams())
 	if err := s.Reserve(MiB, TierFast); err != nil {

@@ -20,6 +20,10 @@ type ATMemEngine struct {
 	// Sink, when non-nil, observes per-region attempt/rollback/outcome
 	// events (see SetEventSink).
 	Sink EventSink
+
+	// target is the tier of the Migrate call in progress, stamped onto
+	// every emitted event.
+	target memsim.Tier
 }
 
 // Name implements Engine.
@@ -28,9 +32,10 @@ func (e *ATMemEngine) Name() string { return "atmem" }
 // SetEventSink implements Engine.
 func (e *ATMemEngine) SetEventSink(s EventSink) { e.Sink = s }
 
-// emit sends ev to the sink, if any.
+// emit sends ev to the sink, if any, stamped with the migration target.
 func (e *ATMemEngine) emit(ev Event) {
 	if e.Sink != nil {
+		ev.Target = e.target
 		e.Sink(ev)
 	}
 }
@@ -51,6 +56,7 @@ func (e *ATMemEngine) emit(ev Event) {
 // continue with the rest of the plan. Skipped regions carry their last
 // error in the Stats outcomes; only a failed rollback aborts the run.
 func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+	e.target = target
 	p := &sys.P
 	threads := e.Threads
 	if threads <= 0 {

@@ -20,6 +20,10 @@ type MbindEngine struct {
 	// Sink, when non-nil, observes per-region attempt/rollback/outcome
 	// events (see SetEventSink).
 	Sink EventSink
+
+	// target is the tier of the Migrate call in progress, stamped onto
+	// every emitted event.
+	target memsim.Tier
 }
 
 // Name implements Engine.
@@ -28,9 +32,10 @@ func (e *MbindEngine) Name() string { return "mbind" }
 // SetEventSink implements Engine.
 func (e *MbindEngine) SetEventSink(s EventSink) { e.Sink = s }
 
-// emit sends ev to the sink, if any.
+// emit sends ev to the sink, if any, stamped with the migration target.
 func (e *MbindEngine) emit(ev Event) {
 	if e.Sink != nil {
+		ev.Target = e.target
 		e.Sink(ev)
 	}
 }
@@ -44,6 +49,7 @@ func (e *MbindEngine) emit(ev Event) {
 // retier stay splintered, as they would under a real aborted
 // migrate_pages.
 func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+	e.target = target
 	p := &sys.P
 	batch := e.ShootdownBatchPages
 	if batch <= 0 {

@@ -167,6 +167,10 @@ type Event struct {
 	// StagingBytes is the staging-buffer size of the attempt (ATMem
 	// engine only; 0 for mbind).
 	StagingBytes uint64
+	// Target is the tier the region was being migrated toward, which
+	// distinguishes demotion events from promotion events in a
+	// mixed-direction schedule.
+	Target memsim.Tier
 	// Seconds is the engine's modelled elapsed time at emission.
 	Seconds float64
 	// Err carries the failure of rollback/skipped events.
@@ -197,6 +201,91 @@ type Engine interface {
 	// ErrRollback), after which the system must be considered
 	// inconsistent.
 	Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error)
+}
+
+// Schedule is a mixed-direction migration plan for one governed epoch:
+// demotions move to the slow tier first, so the fast-tier capacity they
+// reclaim funds the promotions that follow.
+type Schedule struct {
+	// Demotions are migrated to memsim.TierSlow, in order.
+	Demotions []Region
+	// Promotions are migrated to memsim.TierFast, in order, after every
+	// demotion has run.
+	Promotions []Region
+}
+
+// Empty reports whether the schedule moves nothing.
+func (s *Schedule) Empty() bool {
+	return len(s.Demotions) == 0 && len(s.Promotions) == 0
+}
+
+// ScheduleResult reports one RunSchedule: the per-direction stats plus a
+// merged view equivalent to what a single Migrate call would report.
+type ScheduleResult struct {
+	// Demotions and Promotions are the per-pass stats. Their Seconds and
+	// Moved/Outcomes are pass-local; events emitted during the promotion
+	// pass already carry schedule-relative Seconds.
+	Demotions  Stats
+	Promotions Stats
+	// Merged combines both passes: summed counters, concatenated
+	// Outcomes and Moved (demotions first), total Seconds.
+	Merged Stats
+}
+
+// RunSchedule executes a mixed-direction schedule on one engine:
+// demotion pass to the slow tier, then promotion pass to the fast tier.
+// Events from both passes flow to sink on a single schedule-relative
+// time axis (promotion-pass events are offset by the demotion pass's
+// elapsed seconds); each event's Target tier tells the passes apart. The
+// engine's sink is restored to nil afterwards. An unrecoverable engine
+// error aborts the schedule (a failed demotion pass skips promotions
+// entirely), with the partial result still populated.
+func RunSchedule(e Engine, sys *memsim.System, sched Schedule, sink EventSink) (ScheduleResult, error) {
+	res := ScheduleResult{
+		Demotions:  Stats{Engine: e.Name()},
+		Promotions: Stats{Engine: e.Name()},
+	}
+	defer e.SetEventSink(nil)
+
+	var err error
+	if len(sched.Demotions) > 0 {
+		e.SetEventSink(sink)
+		res.Demotions, err = e.Migrate(sys, sched.Demotions, memsim.TierSlow)
+	}
+	if err == nil && len(sched.Promotions) > 0 {
+		offset := res.Demotions.Seconds
+		if sink != nil && offset > 0 {
+			e.SetEventSink(func(ev Event) {
+				ev.Seconds += offset
+				sink(ev)
+			})
+		} else {
+			e.SetEventSink(sink)
+		}
+		res.Promotions, err = e.Migrate(sys, sched.Promotions, memsim.TierFast)
+	}
+	res.Merged = mergeStats(e.Name(), res.Demotions, res.Promotions)
+	return res, err
+}
+
+// mergeStats combines the demotion and promotion pass stats.
+func mergeStats(engine string, dem, pro Stats) Stats {
+	m := Stats{
+		Engine:          engine,
+		Seconds:         dem.Seconds + pro.Seconds,
+		BytesRequested:  dem.BytesRequested + pro.BytesRequested,
+		BytesMoved:      dem.BytesMoved + pro.BytesMoved,
+		Regions:         dem.Regions + pro.Regions,
+		PagesMoved:      dem.PagesMoved + pro.PagesMoved,
+		HugePagesSplit:  dem.HugePagesSplit + pro.HugePagesSplit,
+		TLBShootdowns:   dem.TLBShootdowns + pro.TLBShootdowns,
+		RegionsMigrated: dem.RegionsMigrated + pro.RegionsMigrated,
+		RegionsRetried:  dem.RegionsRetried + pro.RegionsRetried,
+		RegionsSkipped:  dem.RegionsSkipped + pro.RegionsSkipped,
+	}
+	m.Outcomes = append(append([]RegionOutcome(nil), dem.Outcomes...), pro.Outcomes...)
+	m.Moved = append(append([]Region(nil), dem.Moved...), pro.Moved...)
+	return m
 }
 
 // alignRegion expands r outward to 4 KiB page boundaries.

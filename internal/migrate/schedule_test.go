@@ -1,0 +1,132 @@
+package migrate
+
+import (
+	"testing"
+
+	"atmem/internal/memsim"
+)
+
+func TestDemotionDirection(t *testing.T) {
+	// Both engines must handle target = TierSlow: the governor's
+	// demotion pass is just a migration with the tiers swapped.
+	for _, e := range engines() {
+		s := testSystem(t)
+		base, err := s.Alloc(2*memsim.HugePage, memsim.TierFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierSlow)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if st.BytesMoved != 2*memsim.HugePage {
+			t.Errorf("%s: demoted %d bytes", e.Name(), st.BytesMoved)
+		}
+		on := s.BytesOnTier(base, 2*memsim.HugePage)
+		if on[memsim.TierSlow] != 2*memsim.HugePage || on[memsim.TierFast] != 0 {
+			t.Errorf("%s: placement after demotion %v", e.Name(), on)
+		}
+		if err := s.CheckConsistency(); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestRunScheduleDemotionsFundPromotions(t *testing.T) {
+	// Fast tier: 2.5 MiB. Object A (2 MiB) is fast-resident, object B
+	// (2 MiB) is slow. Promoting B alone must fail for capacity; the
+	// schedule demotes A first, and the reclaimed capacity funds B.
+	p := memsim.NVMDRAMParams()
+	p.Tiers[memsim.TierFast].CapacityBytes = 2*memsim.MiB + 512*memsim.KiB
+	s := memsim.NewSystem(p)
+	a, err := s.Alloc(2*memsim.MiB, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(2*memsim.MiB, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ATMemEngine{StagingBytes: 256 * memsim.KiB}
+
+	// Control: promotion without the demotion pass is skipped.
+	ctl, err := e.Migrate(s, []Region{{Base: b, Size: 2 * memsim.MiB}}, memsim.TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.RegionsSkipped != 1 || ctl.BytesMoved != 0 {
+		t.Fatalf("control promotion: %+v", ctl.Outcomes)
+	}
+
+	var events []Event
+	res, err := RunSchedule(e, s, Schedule{
+		Demotions:  []Region{{Base: a, Size: 2 * memsim.MiB}},
+		Promotions: []Region{{Base: b, Size: 2 * memsim.MiB}},
+	}, func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demotions.BytesMoved != 2*memsim.MiB {
+		t.Errorf("demotion pass moved %d", res.Demotions.BytesMoved)
+	}
+	if res.Promotions.RegionsSkipped != 0 || res.Promotions.BytesMoved != 2*memsim.MiB {
+		t.Errorf("promotion pass: moved=%d outcomes=%+v",
+			res.Promotions.BytesMoved, res.Promotions.Outcomes)
+	}
+	if res.Merged.BytesMoved != 4*memsim.MiB || res.Merged.Regions != 2 {
+		t.Errorf("merged: %+v", res.Merged)
+	}
+	if res.Merged.Seconds != res.Demotions.Seconds+res.Promotions.Seconds {
+		t.Error("merged Seconds is not the sum of the passes")
+	}
+	if len(res.Merged.Moved) != 2 || res.Merged.Moved[0].Base != a || res.Merged.Moved[1].Base != b {
+		t.Errorf("merged Moved %v (want demotion range first)", res.Merged.Moved)
+	}
+
+	onA := s.BytesOnTier(a, 2*memsim.MiB)
+	onB := s.BytesOnTier(b, 2*memsim.MiB)
+	if onA[memsim.TierSlow] != 2*memsim.MiB || onB[memsim.TierFast] != 2*memsim.MiB {
+		t.Errorf("final placement: A %v, B %v", onA, onB)
+	}
+
+	// Events carry the pass direction and share one time axis: every
+	// promotion event is stamped TierFast and starts no earlier than the
+	// demotion pass's elapsed time.
+	var sawDem, sawPro bool
+	for _, ev := range events {
+		switch ev.Target {
+		case memsim.TierSlow:
+			sawDem = true
+		case memsim.TierFast:
+			sawPro = true
+			if ev.Seconds < res.Demotions.Seconds {
+				t.Errorf("promotion event %s at %.9fs precedes demotion pass end %.9fs",
+					ev.Kind, ev.Seconds, res.Demotions.Seconds)
+			}
+		}
+	}
+	if !sawDem || !sawPro {
+		t.Errorf("events missing a direction: dem=%v pro=%v", sawDem, sawPro)
+	}
+	if e.Sink != nil {
+		t.Error("RunSchedule left the engine sink installed")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunScheduleEmpty(t *testing.T) {
+	s := testSystem(t)
+	res, err := RunSchedule(&ATMemEngine{}, s, Schedule{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.Regions != 0 || res.Merged.Seconds != 0 || res.Merged.BytesMoved != 0 {
+		t.Errorf("empty schedule produced stats %+v", res.Merged)
+	}
+	sched := Schedule{}
+	if !sched.Empty() {
+		t.Error("Schedule.Empty() = false for zero value")
+	}
+}

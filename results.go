@@ -70,6 +70,33 @@ type MigrationReport struct {
 	EstimatedBytes uint64
 	// ClippedBytes is what the fast-tier capacity budget dropped.
 	ClippedBytes uint64
+
+	// The remaining fields are populated only on a governed runtime
+	// (Options.Governor.Enabled).
+
+	// Epoch is the governed epoch this report belongs to (1-based).
+	Epoch int
+	// Breaker is the circuit breaker's state after the epoch ("closed",
+	// "open", "half-open"; empty on an ungoverned runtime).
+	Breaker string
+	// BreakerSkipped marks an epoch the open breaker skipped: no
+	// analysis or migration ran.
+	BreakerSkipped bool
+	// DeltaEmpty marks a converged epoch: the plan matched residency
+	// and nothing needed to move.
+	DeltaEmpty bool
+	// PromotedBytes and DemotedBytes split BytesMoved by direction.
+	PromotedBytes uint64
+	DemotedBytes  uint64
+	// RegionsDemoted counts committed demotion regions (hysteresis
+	// expiries plus pressure demotions).
+	RegionsDemoted int
+	// PressureDemotedBytes is the slice of the demotion schedule the
+	// watermarks forced ahead of hysteresis expiry.
+	PressureDemotedBytes uint64
+	// ResidentBytes is the fast-resident footprint the governor tracks
+	// after the epoch.
+	ResidentBytes uint64
 }
 
 // DataRatio is SelectedBytes/TotalBytes — the x-axis of Figures 7–10.
@@ -93,6 +120,18 @@ func (m MigrationReport) String() string {
 	if m.Degraded() {
 		s += fmt.Sprintf("; degraded: %d retried, %d skipped (%d bytes left behind)",
 			m.RegionsRetried, m.RegionsSkipped, m.SkippedBytes)
+	}
+	if m.Breaker != "" {
+		s += fmt.Sprintf("; epoch %d breaker %s", m.Epoch, m.Breaker)
+		switch {
+		case m.BreakerSkipped:
+			s += " (migration skipped)"
+		case m.DeltaEmpty:
+			s += " (delta empty)"
+		default:
+			s += fmt.Sprintf(" (+%d/-%d bytes, %d resident)",
+				m.PromotedBytes, m.DemotedBytes, m.ResidentBytes)
+		}
 	}
 	return s
 }
@@ -124,6 +163,17 @@ func (r *Runtime) migrationReport() MigrationReport {
 			rep.SampledBytes += r.plan.Objects[i].SampledBytes
 			rep.EstimatedBytes += r.plan.Objects[i].EstimatedBytes
 		}
+	}
+	if r.gov != nil {
+		rep.Epoch = r.gov.epoch
+		rep.Breaker = r.gov.state.String()
+		rep.BreakerSkipped = r.gov.skipped
+		rep.DeltaEmpty = r.gov.emptyDelta
+		rep.PromotedBytes = r.gov.promotedBytes
+		rep.DemotedBytes = r.gov.demotedBytes
+		rep.RegionsDemoted = r.gov.regionsDemoted
+		rep.PressureDemotedBytes = r.gov.pressureBytes
+		rep.ResidentBytes = r.gov.residentBytes
 	}
 	return rep
 }

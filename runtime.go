@@ -9,6 +9,7 @@ import (
 
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
+	"atmem/internal/governor"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -40,13 +41,22 @@ type Runtime struct {
 	phases   []PhaseResult
 	profiled bool
 
+	// Governor state (nil/zero unless Options.Governor.Enabled; see
+	// governor.go).
+	govCfg  governor.Config
+	resid   *core.Residency
+	breaker *governor.Breaker
+	gov     *govInfo
+	epoch   int
+
 	// Telemetry state (see telemetry.go). simNS is the simulated-clock
 	// cursor in nanoseconds, advanced by phase wall time and modelled
 	// migration time; rec is nil when telemetry is off.
-	rec          *telemetry.Recorder
-	simNS        atomic.Uint64
-	profOpen     bool
-	faultsTraced int
+	rec           *telemetry.Recorder
+	simNS         atomic.Uint64
+	profOpen      bool
+	faultsTraced  int
+	breakerTraced int
 }
 
 // NewRuntime builds a runtime on the given testbed.
@@ -80,6 +90,15 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 	if o.FaultSchedule != nil {
 		r.faults = faultinject.New(*o.FaultSchedule)
 		r.sys.SetFaultHook(r.faults)
+	}
+	if o.Governor.Enabled {
+		gcfg := o.Governor.governorConfig()
+		if err := gcfg.Validate(); err != nil {
+			return nil, err
+		}
+		r.govCfg = gcfg
+		r.resid = core.NewResidency()
+		r.breaker = governor.NewBreaker(gcfg)
 	}
 	period := o.SamplePeriod
 	if period == 0 {
@@ -121,6 +140,16 @@ func (r *Runtime) FaultEvents() []faultinject.Event {
 		return nil
 	}
 	return r.faults.Events()
+}
+
+// DisarmFaults permanently stops Options.FaultSchedule from injecting
+// further faults; already-recorded FaultEvents survive. Scenarios use it
+// to model a fault condition clearing mid-run (e.g. the governor's
+// breaker must close again once a storm ends). No-op without a schedule.
+func (r *Runtime) DisarmFaults() {
+	if r.faults != nil {
+		r.faults.Disarm()
+	}
 }
 
 // Registry exposes the data-object registry (for tests and the harness).
@@ -208,9 +237,22 @@ func (r *Runtime) Free(o *Object) error {
 	if err := r.sys.Free(o.base, o.size); err != nil {
 		return err
 	}
+	if r.resid != nil {
+		// Drop the freed range's residency and hysteresis state: a
+		// reallocation at the same address must start cold.
+		r.resid.Drop(o.base)
+	}
 	delete(r.objects, o.base)
 	o.data = nil
 	return nil
+}
+
+// SetCapacityReserve adjusts the fast-tier holdback between epochs —
+// the shrinking-budget scenario (§1's shared server) the governor's
+// pressure demotion absorbs. It does not move data by itself; the next
+// Optimize sees the new budget.
+func (r *Runtime) SetCapacityReserve(bytes uint64) {
+	r.opts.CapacityReserve = bytes
 }
 
 // Objects returns the live objects in registration-independent (address)
@@ -332,6 +374,11 @@ func (r *Runtime) Manifest() []ObjectManifest {
 // bytes bit-identical); a violation is a bug in the migration machinery
 // and is returned as an error.
 func (r *Runtime) Optimize() (MigrationReport, error) {
+	if r.resid != nil {
+		// Governed runtimes diff the plan against residency and may
+		// demote as well as promote; see governor.go.
+		return r.optimizeGoverned()
+	}
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
 	}

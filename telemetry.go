@@ -48,8 +48,9 @@ func (s stageRecorder) StageEnd(stage string, summary map[string]any) {
 // the event lands at the window's start plus that offset.
 func (r *Runtime) emitMigrationEvent(startNS uint64, ev migrate.Event) {
 	args := telemetry.Args{
-		"base":  ev.Region.Base,
-		"bytes": ev.Region.Size,
+		"base":   ev.Region.Base,
+		"bytes":  ev.Region.Size,
+		"target": ev.Target.String(),
 	}
 	if ev.Attempt > 0 {
 		args["attempt"] = ev.Attempt
@@ -83,7 +84,36 @@ func (r *Runtime) optimizeSpanArgs() telemetry.Args {
 		args["selected_bytes"] = r.plan.SelectedBytes
 		args["clipped_bytes"] = r.plan.ClippedBytes
 	}
+	if r.gov != nil {
+		args["epoch"] = r.gov.epoch
+		args["decision"] = r.gov.decision.String()
+		args["breaker"] = r.gov.state.String()
+		args["promoted_bytes"] = r.gov.promotedBytes
+		args["demoted_bytes"] = r.gov.demotedBytes
+		args["pressure_bytes"] = r.gov.pressureBytes
+		args["resident_bytes"] = r.gov.residentBytes
+	}
 	return args
+}
+
+// logBreakerTransitions mirrors breaker state changes not yet in the
+// trace as instants on the governor track (same drain pattern as
+// logNewFaults). The governed Optimize calls it before closing its
+// span, so a transition lands inside the epoch that caused it.
+func (r *Runtime) logBreakerTransitions() {
+	if !r.rec.Enabled() || r.breaker == nil {
+		return
+	}
+	trs := r.breaker.Transitions()
+	for ; r.breakerTraced < len(trs); r.breakerTraced++ {
+		tr := trs[r.breakerTraced]
+		r.rec.Instant(0, "governor", "breaker-"+tr.To.String(), telemetry.Args{
+			"epoch":    tr.Epoch,
+			"from":     tr.From.String(),
+			"reason":   tr.Reason,
+			"cooldown": tr.Cooldown,
+		})
+	}
 }
 
 // emitPhaseMetrics snapshots the per-phase counters onto the trace's
