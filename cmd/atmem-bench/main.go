@@ -24,6 +24,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print each underlying run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceDir := flag.String("trace", "", "record telemetry and write per-run trace artifacts into this directory")
+	async := flag.Bool("async", false, "drive every ATMem-policy run through overlapped background placement (migration concurrent with kernels)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atmem-bench [-format text|csv|md|json] [-v] <experiment>...|all\n\nexperiments ('all' runs the paper set; extensions run by id):\n")
 		for _, e := range harness.AllExperiments() {
@@ -60,6 +61,7 @@ func main() {
 	suite := harness.NewSuite()
 	suite.Verbose = *verbose
 	suite.TraceDir = *traceDir
+	suite.Async = *async
 	for _, e := range exps {
 		reports, err := e.Run(suite)
 		if err != nil {

@@ -175,6 +175,27 @@ type Options struct {
 	// bytes. Ignored on shared-channel systems (Optane), where
 	// splitting traffic only serializes it.
 	BandwidthAware bool
+	// Async configures overlapped background placement: RunEpochAsync
+	// migrates the previous interval's plan on a service goroutine while
+	// the next interval's phases run, the way the paper's service
+	// threads overlap the application. Async.Enabled implies
+	// Governor.Enabled (the pipeline is built on the governed delta
+	// planner).
+	Async AsyncOptions
+}
+
+// AsyncOptions configures overlapped background placement (see
+// Runtime.RunEpochAsync).
+type AsyncOptions struct {
+	// Enabled turns the overlapped pipeline on, implying
+	// Governor.Enabled.
+	Enabled bool
+	// StealFraction is the fraction of overlapped migration time that
+	// still surfaces on the simulated clock as slowdown of the
+	// concurrent phases — the bandwidth the background copy steals from
+	// the kernels. 0 means the default 0.25; values are clamped to
+	// [0, 1].
+	StealFraction float64
 }
 
 // GovernorOptions configures the epoch-adaptive placement governor
@@ -229,10 +250,26 @@ func (o *Options) withDefaults() Options {
 	if out.CapacityReserve == 0 {
 		out.CapacityReserve = defaultStagingBytes
 	}
+	if out.Async.Enabled {
+		out.Governor.Enabled = true
+	}
+	if out.Async.StealFraction == 0 {
+		out.Async.StealFraction = defaultStealFraction
+	}
+	if out.Async.StealFraction < 0 {
+		out.Async.StealFraction = 0
+	}
+	if out.Async.StealFraction > 1 {
+		out.Async.StealFraction = 1
+	}
 	return out
 }
 
 const defaultStagingBytes = 2 << 20
+
+// defaultStealFraction is the share of overlapped migration seconds
+// charged to the simulated clock (see AsyncOptions.StealFraction).
+const defaultStealFraction = 0.25
 
 // newEngine builds the configured migration engine.
 func (o *Options) newEngine(threads int) migrate.Engine {

@@ -19,10 +19,9 @@ import (
 )
 
 func run(reserve uint64) (iter float64, ratio float64, err error) {
-	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), atmem.Options{
-		Policy:          atmem.PolicyATMem,
-		CapacityReserve: reserve,
-	})
+	rt, err := atmem.New(atmem.NVMDRAM(),
+		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithCapacityReserve(reserve))
 	if err != nil {
 		return 0, 0, err
 	}

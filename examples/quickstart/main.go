@@ -14,7 +14,7 @@ import (
 )
 
 func run(policy atmem.Policy) (first, second float64, rep atmem.MigrationReport, err error) {
-	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), atmem.Options{Policy: policy})
+	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPolicy(policy))
 	if err != nil {
 		return 0, 0, rep, err
 	}

@@ -22,7 +22,7 @@ type result struct {
 }
 
 func runPipeline(policy atmem.Policy) (result, error) {
-	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), atmem.Options{Policy: policy})
+	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPolicy(policy))
 	if err != nil {
 		return result{}, err
 	}

@@ -9,6 +9,7 @@ package atmem
 // budget shrinks, and without hammering a failing migration path.
 
 import (
+	"context"
 	"fmt"
 
 	"atmem/internal/core"
@@ -50,6 +51,19 @@ type EpochReport struct {
 	Migration MigrationReport
 	// Phases are the phases the epoch body ran, in order.
 	Phases []PhaseResult
+	// Overlapped reports whether a background placement ran concurrently
+	// with this epoch's phases (RunEpochAsync only).
+	Overlapped bool
+	// PlacedFromEpoch is the epoch whose samples the overlapped
+	// placement used (0 when no background placement ran — the pipeline's
+	// first epoch has nothing pending).
+	PlacedFromEpoch int
+	// OverlapSeconds is how much of the background migration's modelled
+	// time was hidden under the epoch's phases.
+	OverlapSeconds float64
+	// StolenSeconds is the share of the overlapped time charged back to
+	// the simulated clock as bandwidth stolen from the running kernels.
+	StolenSeconds float64
 }
 
 // Epoch returns the current epoch count (epochs started so far).
@@ -89,6 +103,14 @@ func (r *Runtime) ResidentBytes() uint64 {
 // carries no signal, so neither the hysteresis counters nor the breaker
 // advance. Requires Options.Governor.Enabled.
 func (r *Runtime) RunEpoch(name string, body func()) (EpochReport, error) {
+	return r.RunEpochCtx(context.Background(), name, body)
+}
+
+// RunEpochCtx is RunEpoch with a context: cancellation mid-plan makes
+// the migration engine roll back the in-flight region and skip the rest
+// of the schedule (the regions report OutcomeSkipped), leaving placement
+// consistent.
+func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (EpochReport, error) {
 	if r.resid == nil {
 		return EpochReport{}, fmt.Errorf("atmem: RunEpoch requires Options.Governor.Enabled")
 	}
@@ -108,7 +130,7 @@ func (r *Runtime) RunEpoch(name string, body func()) (EpochReport, error) {
 	var err error
 	if rep.Samples > 0 {
 		rep.Optimized = true
-		rep.Migration, err = r.optimizeGoverned()
+		rep.Migration, err = r.optimizeGoverned(ctx, r.prof.Config().Period, 0)
 	}
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
@@ -121,17 +143,21 @@ func (r *Runtime) RunEpoch(name string, body func()) (EpochReport, error) {
 // optimizeGoverned is Optimize for a governed runtime: one breaker
 // decision, a residency delta against the fresh plan, watermark-driven
 // pressure demotions, and a mixed-direction migration schedule with
-// demotions first.
-func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
+// demotions first. The sampling period is a parameter (not read from
+// the profiler) so the async pipeline can analyze a previous interval's
+// samples while the profiler is already reconfigured for the next; tid
+// selects the telemetry track (the placement track when running on the
+// background service goroutine).
+func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) (MigrationReport, error) {
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
 	}
 	optStart := r.simNS.Load()
-	r.rec.Begin(0, "optimize", "optimize", nil)
+	r.rec.Begin(tid, "optimize", "optimize", nil)
 	defer func() {
-		r.logNewFaults()
-		r.logBreakerTransitions()
-		r.rec.End(0, "optimize", "optimize", r.optimizeSpanArgs())
+		r.logNewFaults(tid)
+		r.logBreakerTransitions(tid)
+		r.rec.End(tid, "optimize", "optimize", r.optimizeSpanArgs())
 	}()
 
 	gi := &govInfo{decision: r.breaker.Decide()}
@@ -176,7 +202,7 @@ func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
 		r.breaker.Observe(false)
 		return finish(), nil
 	}
-	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver())
+	plan, err := core.AnalyzeObserved(r.reg, period, budget, r.stageObserver(tid))
 	if err != nil {
 		return MigrationReport{}, err
 	}
@@ -239,12 +265,17 @@ func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
 	pre := r.objectChecksums()
 	var sink migrate.EventSink
 	if r.rec.Enabled() {
-		sink = func(ev migrate.Event) { r.emitMigrationEvent(optStart, ev) }
+		sink = func(ev migrate.Event) { r.emitMigrationEvent(tid, optStart, ev) }
 	}
-	res, err := migrate.RunSchedule(r.engine, r.sys, sched, sink)
+	res, err := migrate.RunSchedule(ctx, r.engine, r.sys, sched, sink)
 	st := res.Merged
 	r.migStats = &st
-	r.simNS.Add(uint64(st.Seconds * 1e9))
+	if !r.asyncActive.Load() {
+		// Stop-the-world placement: the application waits out the whole
+		// migration. The overlapped pipeline instead reconciles the
+		// clock at the epoch join, charging only the non-hidden share.
+		r.simNS.Add(uint64(st.Seconds * 1e9))
+	}
 	if err != nil {
 		// Unrecoverable (failed rollback): degrade the breaker and
 		// surface the error.
@@ -253,13 +284,9 @@ func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
 	}
 
 	// Invalidate stale TLB/cache entries for exactly the committed
-	// slices, in either direction.
-	for _, a := range r.accessors {
-		for _, rg := range st.Moved {
-			a.InvalidateTLBRange(rg.Base, rg.Size)
-			a.InvalidateCacheRange(rg.Base, rg.Size)
-		}
-	}
+	// slices, in either direction (via the shootdown log when accessors
+	// may be running concurrently).
+	r.invalidateMoved(st.Moved)
 	// Residency follows commits, never plans: only ranges whose remap
 	// committed change state, so a rolled-back region keeps both its
 	// placement and its residency.
@@ -273,7 +300,10 @@ func (r *Runtime) optimizeGoverned() (MigrationReport, error) {
 	gi.demotedBytes = res.Demotions.BytesMoved
 	gi.regionsDemoted = len(res.Demotions.Moved)
 
-	r.breaker.Observe(st.RegionsSkipped > 0)
+	// A cancelled plan skips regions deliberately; that is the caller's
+	// choice, not a failing migration path, so it must not trip the
+	// breaker.
+	r.breaker.Observe(st.RegionsSkipped > 0 && ctx.Err() == nil)
 	if err := r.verifyMigrationInvariants(pre); err != nil {
 		return finish(), fmt.Errorf("atmem: post-migration invariant violated: %w", err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 	"strings"
@@ -42,6 +43,14 @@ type AdaptiveScenario struct {
 	// epochs (Runtime.DisarmFaults) — the storm ends, and the breaker
 	// must recover. Zero keeps the faults armed throughout.
 	FaultEpochs int
+	// Async drives the epochs through overlapped background placement
+	// (RunEpochAsync, one interval deep, drained after the last epoch)
+	// instead of the stop-the-world RunEpoch.
+	Async bool
+	// StealFraction overrides the overlapped-copy bandwidth steal (see
+	// atmem.AsyncOptions); 0 keeps the default. Only meaningful with
+	// Async.
+	StealFraction float64
 	// TraceDir, when non-empty, records telemetry and writes the trace
 	// artifacts there.
 	TraceDir string
@@ -123,6 +132,18 @@ type AdaptiveResult struct {
 	FaultEvents int
 	// TracePath is the written Chrome trace (empty without TraceDir).
 	TracePath string
+	// TotalSimSeconds is the runtime's final simulated clock — iteration
+	// time plus the charged share of every migration — the quantity the
+	// overlapped-vs-stop-the-world comparison ranks on.
+	TotalSimSeconds float64
+	// OverlapSeconds and StolenSeconds are the cumulative overlapped-
+	// placement accounting (zero without Async).
+	OverlapSeconds float64
+	StolenSeconds  float64
+	// DataCRC is the checksum of the immutable graph arrays after the
+	// last epoch; identical scenarios must produce identical values
+	// regardless of placement mode.
+	DataCRC uint32
 }
 
 // ShiftStart returns the index into Epochs of the first PR epoch.
@@ -158,16 +179,23 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 		return nil, fmt.Errorf("harness: adaptive reserve must tighten: %d < %d", sc.ReserveEnd, sc.ReserveStart)
 	}
 	sc.Governor.Enabled = true
-	opts := atmem.Options{
-		Policy:          atmem.PolicyATMem,
-		Governor:        sc.Governor,
-		FaultSchedule:   sc.FaultSchedule,
-		CapacityReserve: sc.ReserveStart,
+	opts := []atmem.Option{
+		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithGovernor(sc.Governor),
+		atmem.WithCapacityReserve(sc.ReserveStart),
+	}
+	if sc.FaultSchedule != nil {
+		opts = append(opts, atmem.WithFaultSchedule(*sc.FaultSchedule))
+	}
+	if sc.Async {
+		opts = append(opts, atmem.WithAsyncPlacement(atmem.AsyncOptions{
+			StealFraction: sc.StealFraction,
+		}))
 	}
 	if sc.TraceDir != "" {
-		opts.Recorder = telemetry.NewRecorder()
+		opts = append(opts, atmem.WithTelemetry(telemetry.NewRecorder()))
 	}
-	rt, err := atmem.NewRuntime(atmem.NVMDRAM(), opts)
+	rt, err := atmem.New(atmem.NVMDRAM(), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -190,16 +218,26 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 	crcBefore := graphDataCRC(rt)
 
 	res := &AdaptiveResult{}
+	ctx := context.Background()
 	runOne := func(workload string, kern apps.Kernel, reserve uint64) error {
 		rt.SetCapacityReserve(reserve)
 		var iter apps.IterationResult
-		er, err := rt.RunEpoch(fmt.Sprintf("%s-%d", workload, rt.Epoch()+1), func() {
-			iter = kern.RunIteration(rt)
-		})
+		name := fmt.Sprintf("%s-%d", workload, rt.Epoch()+1)
+		body := func() { iter = kern.RunIteration(rt) }
+		var er atmem.EpochReport
+		var err error
+		if sc.Async {
+			er, err = rt.RunEpochAsync(ctx, name, body)
+		} else {
+			er, err = rt.RunEpoch(name, body)
+		}
 		if err != nil {
 			return fmt.Errorf("harness: adaptive epoch %d (%s): %w", rt.Epoch(), workload, err)
 		}
-		if !er.Optimized {
+		if !sc.Async && !er.Optimized {
+			// The async pipeline's first epoch legitimately places
+			// nothing (no pending interval); the zero-sample check only
+			// holds for the stop-the-world loop.
 			return fmt.Errorf("harness: adaptive epoch %d (%s) attributed no samples", rt.Epoch(), workload)
 		}
 		res.Epochs = append(res.Epochs, AdaptiveEpoch{
@@ -233,16 +271,29 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 			return res, err
 		}
 	}
+	if sc.Async {
+		// Place the last interval's samples synchronously so the
+		// pipeline leaves nothing pending (and the final placement
+		// matches what the stop-the-world loop would have reached).
+		if _, err := rt.DrainAsync(ctx); err != nil {
+			return res, fmt.Errorf("harness: adaptive drain: %w", err)
+		}
+	}
 
 	res.Transitions = rt.BreakerTransitions()
 	res.FinalState = rt.BreakerState()
 	res.ResidentBytes = rt.ResidentBytes()
 	res.FaultEvents = len(rt.FaultEvents())
+	res.TotalSimSeconds = rt.SimSeconds()
+	res.OverlapSeconds = rt.OverlapSeconds()
+	res.StolenSeconds = rt.StolenSeconds()
 
-	// Safety net: whatever the governor did, it must not have harmed the
-	// data or the simulator's books.
-	if crcAfter := graphDataCRC(rt); crcAfter != crcBefore {
-		return res, fmt.Errorf("harness: adaptive graph data CRC changed: %08x -> %08x", crcBefore, crcAfter)
+	// Safety net: whatever the governor did — including concurrently
+	// with running kernels — it must not have harmed the data or the
+	// simulator's books.
+	res.DataCRC = graphDataCRC(rt)
+	if res.DataCRC != crcBefore {
+		return res, fmt.Errorf("harness: adaptive graph data CRC changed: %08x -> %08x", crcBefore, res.DataCRC)
 	}
 	if err := bfs.Validate(); err != nil {
 		return res, fmt.Errorf("harness: adaptive: %w", err)
@@ -343,6 +394,72 @@ func adaptivePressure(s *Suite) ([]*Report, error) {
 		out = append(out, rep)
 	}
 	return out, nil
+}
+
+// overlapComparison is the overlapped-vs-stop-the-world experiment: the
+// identical adaptive-pressure scenario (BFS→PR shift under a tightening
+// reserve) run once with stop-the-world epochs, once with overlapped
+// background placement, and once overlapped under the fault storm. The
+// async rows must finish in strictly fewer simulated seconds than the
+// stop-the-world row while the graph data CRC stays bit-identical
+// across all modes — migration concurrency must never change results.
+func overlapComparison(s *Suite) ([]*Report, error) {
+	modes := []struct {
+		id    string
+		async bool
+		sched *faultinject.Schedule
+	}{
+		{"stop-the-world", false, nil},
+		{"overlapped", true, nil},
+		{"overlapped-faults", true, AdaptiveFaultSchedule()},
+	}
+	rep := &Report{
+		ID:    "overlap",
+		Title: "Overlapped background placement vs stop-the-world epochs (adaptive-pressure scenario, NVM-DRAM)",
+		Columns: []string{"mode", "epochs", "total-sim(s)", "overlap(s)",
+			"stolen(s)", "resident", "breaker", "data-crc"},
+	}
+	var crcs []uint32
+	var syncS, asyncS float64
+	for _, m := range modes {
+		sc := DefaultAdaptiveScenario()
+		sc.Async = m.async
+		sc.FaultSchedule = m.sched
+		if m.sched != nil {
+			sc.FaultEpochs = adaptiveFaultEpochs
+		}
+		sc.TraceDir = s.TraceDir
+		res, err := RunAdaptivePressure(sc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: overlap/%s: %w", m.id, err)
+		}
+		crcs = append(crcs, res.DataCRC)
+		switch m.id {
+		case "stop-the-world":
+			syncS = res.TotalSimSeconds
+		case "overlapped":
+			asyncS = res.TotalSimSeconds
+		}
+		rep.AddRow(m.id,
+			fmt.Sprintf("%d", len(res.Epochs)),
+			secs(res.TotalSimSeconds),
+			secs(res.OverlapSeconds),
+			secs(res.StolenSeconds),
+			fmt.Sprintf("%d", res.ResidentBytes),
+			res.FinalState.String(),
+			fmt.Sprintf("%08x", res.DataCRC))
+	}
+	for _, c := range crcs[1:] {
+		if c != crcs[0] {
+			return nil, fmt.Errorf("harness: overlap: graph data CRC diverged across modes: %08x vs %08x", crcs[0], c)
+		}
+	}
+	if asyncS >= syncS {
+		return nil, fmt.Errorf("harness: overlap: overlapped placement (%.6fs) not faster than stop-the-world (%.6fs)", asyncS, syncS)
+	}
+	rep.AddNote("overlapped placement hides migration under running kernels: %.6fs vs %.6fs stop-the-world (%.2f%% faster); graph data CRC bit-identical across all modes",
+		asyncS, syncS, 100*(syncS-asyncS)/syncS)
+	return []*Report{rep}, nil
 }
 
 // transitionSummary renders a breaker transition log as one cell-safe

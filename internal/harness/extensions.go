@@ -23,6 +23,7 @@ func ExtensionExperiments() []Experiment {
 		{ID: "aggbw", Title: "Aggregate-bandwidth placement on independent channels (§9 extension, KNL)", Run: aggbw},
 		{ID: "robustness", Title: "Fault-injected migration: graceful degradation under staging/remap failures", Run: robustness},
 		{ID: "adaptive-pressure", Title: "Epoch-adaptive governor: hot-set shift under a tightening budget, with and without faults", Run: adaptivePressure},
+		{ID: "overlap", Title: "Overlapped background placement vs stop-the-world epochs (adaptive-pressure scenario)", Run: overlapComparison},
 	}
 }
 

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -72,6 +73,15 @@ type RunConfig struct {
 	// the governor's delta/demotion/breaker fields. Only meaningful
 	// with PolicyATMem.
 	Governed bool
+	// Async drives the run through overlapped background placement
+	// (Runtime.RunEpochAsync + DrainAsync): the profiled interval's plan
+	// migrates on a service goroutine while the next iteration runs.
+	// Implies the governor. Only meaningful with PolicyATMem.
+	Async bool
+	// Context, when non-nil, is passed to the placement calls so a
+	// caller can cancel in-flight migration. It is deliberately not part
+	// of the memoization key.
+	Context context.Context
 	// Telemetry attaches a telemetry recorder to the run (see
 	// atmem.Options.Recorder). Implied by a non-empty TraceDir.
 	Telemetry bool
@@ -82,10 +92,18 @@ type RunConfig struct {
 }
 
 func (c RunConfig) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s|%t|%s|%t",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%t|%t|%s|%t|%s|%t|%t",
 		c.Testbed, c.App, c.Dataset, c.Policy, c.Mechanism, c.Epsilon,
 		c.SamplePeriod, c.BandwidthAware, c.SkipValidate, c.FaultLabel,
-		c.Telemetry, c.TraceDir, c.Governed)
+		c.Telemetry, c.TraceDir, c.Governed, c.Async)
+}
+
+// ctx resolves the run's context.
+func (c RunConfig) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // RunResult is the outcome of one benchmark run.
@@ -116,6 +134,12 @@ type RunResult struct {
 	// TracePath is the Chrome trace written for this run (empty unless
 	// TraceDir was set).
 	TracePath string
+	// OverlapSeconds and StolenSeconds report the overlapped-placement
+	// clock accounting (zero unless Async): migration time hidden under
+	// concurrently-running kernels, and the share charged back as stolen
+	// copy bandwidth.
+	OverlapSeconds float64
+	StolenSeconds  float64
 }
 
 // Run executes one configuration from scratch: fresh runtime, setup, a
@@ -126,25 +150,30 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	opts := atmem.Options{
-		Policy:         cfg.Policy,
-		Mechanism:      cfg.Mechanism,
-		SamplePeriod:   cfg.SamplePeriod,
-		BandwidthAware: cfg.BandwidthAware,
-		FaultSchedule:  cfg.FaultSchedule,
+	opts := []atmem.Option{
+		atmem.WithPolicy(cfg.Policy),
+		atmem.WithEngine(cfg.Mechanism),
+		atmem.WithSamplePeriod(cfg.SamplePeriod),
+		atmem.WithBandwidthAware(cfg.BandwidthAware),
+	}
+	if cfg.FaultSchedule != nil {
+		opts = append(opts, atmem.WithFaultSchedule(*cfg.FaultSchedule))
 	}
 	if cfg.Governed && cfg.Policy == atmem.PolicyATMem {
-		opts.Governor.Enabled = true
+		opts = append(opts, atmem.WithGovernor(atmem.GovernorOptions{}))
+	}
+	if cfg.Async && cfg.Policy == atmem.PolicyATMem {
+		opts = append(opts, atmem.WithAsyncPlacement(atmem.AsyncOptions{}))
 	}
 	if cfg.Telemetry || cfg.TraceDir != "" {
-		opts.Recorder = telemetry.NewRecorder()
+		opts = append(opts, atmem.WithTelemetry(telemetry.NewRecorder()))
 	}
 	if cfg.Epsilon > 0 {
 		ac := core.DefaultConfig()
 		ac.Epsilon = cfg.Epsilon
-		opts.Analyzer = ac
+		opts = append(opts, atmem.WithAnalyzer(ac))
 	}
-	rt, err := atmem.NewRuntime(tb, opts)
+	rt, err := atmem.New(tb, opts...)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -157,9 +186,36 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	res := RunResult{Config: cfg}
+	warmed := false
 	switch {
+	case cfg.Policy == atmem.PolicyATMem && cfg.Async:
+		ctx := cfg.ctx()
+		// Epoch 1 profiles the cold iteration; nothing is pending yet,
+		// so it overlaps no migration.
+		er, err := rt.RunEpochAsync(ctx, "profile", func() {
+			res.FirstIterSeconds = kern.RunIteration(rt).Seconds
+		})
+		if err != nil {
+			return res, fmt.Errorf("harness: %s epoch: %w", cfg.key(), err)
+		}
+		res.Samples = er.Samples
+		// Epoch 2 doubles as the warm-up iteration: the profiled plan
+		// migrates on the background service goroutine underneath it.
+		er2, err := rt.RunEpochAsync(ctx, "overlap", func() { kern.RunIteration(rt) })
+		if err != nil {
+			return res, fmt.Errorf("harness: %s overlap epoch: %w", cfg.key(), err)
+		}
+		res.Migration = er2.Migration
+		// Place the warm-up interval's samples (a near-empty delta on a
+		// steady workload) before the measured iteration.
+		if _, err := rt.DrainAsync(ctx); err != nil {
+			return res, fmt.Errorf("harness: %s drain: %w", cfg.key(), err)
+		}
+		res.OverlapSeconds = rt.OverlapSeconds()
+		res.StolenSeconds = rt.StolenSeconds()
+		warmed = true
 	case cfg.Policy == atmem.PolicyATMem && cfg.Governed:
-		er, err := rt.RunEpoch("profile", func() {
+		er, err := rt.RunEpochCtx(cfg.ctx(), "profile", func() {
 			res.FirstIterSeconds = kern.RunIteration(rt).Seconds
 		})
 		if err != nil {
@@ -172,7 +228,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		first := kern.RunIteration(rt)
 		res.FirstIterSeconds = first.Seconds
 		res.Samples = rt.ProfilingStop()
-		rep, err := rt.Optimize()
+		rep, err := rt.OptimizeCtx(cfg.ctx())
 		if err != nil {
 			return res, fmt.Errorf("harness: %s optimize: %w", cfg.key(), err)
 		}
@@ -184,8 +240,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 	// the iteration right after migration; at our ~1000x-scaled dataset
 	// sizes the post-migration cache-refill transient is proportionally
 	// far larger than on the real testbeds, so every policy gets one
-	// warm iteration first (see DESIGN.md).
-	kern.RunIteration(rt)
+	// warm iteration first (see DESIGN.md). The async path already
+	// warmed up: its overlap epoch ran a full iteration post-migration.
+	if !warmed {
+		kern.RunIteration(rt)
+	}
 	second := kern.RunIteration(rt)
 	res.IterSeconds = second.Seconds
 	res.PostTLBMisses = second.TLBMisses()
@@ -260,6 +319,9 @@ type Suite struct {
 	// does not name its own trace directory: each run records telemetry
 	// and writes its trace artifacts there.
 	TraceDir string
+	// Async, when set, drives every PolicyATMem run the suite executes
+	// through overlapped background placement (RunConfig.Async).
+	Async bool
 }
 
 // NewSuite builds an empty suite.
@@ -272,6 +334,9 @@ func (s *Suite) Run(cfg RunConfig) (RunResult, error) {
 	if s.TraceDir != "" && cfg.TraceDir == "" {
 		cfg.TraceDir = s.TraceDir
 		cfg.Telemetry = true
+	}
+	if s.Async && cfg.Policy == atmem.PolicyATMem {
+		cfg.Async = true
 	}
 	s.mu.Lock()
 	if r, ok := s.cache[cfg.key()]; ok {

@@ -19,13 +19,21 @@ type MissHook func(addr uint64, write bool) float64
 // access and Compute for ALU work.
 //
 // Accessors are not safe for concurrent use; each simulated thread owns
-// one. The page table must not be modified while accessors are running —
-// the runtime's phase structure guarantees this.
+// one. Accessors do tolerate a concurrent migration retiering mapped
+// pages: translation reads a seqlock-stable page-table word, cached
+// translations are dropped via the system's shootdown log (drained at
+// each access), and stores into a range mid-remap wait on its quiesce
+// gate. Only Alloc/Free must not overlap a running phase.
 type Accessor struct {
 	sys   *System
 	llc   *cache.Cache
 	tlb4k *TLB
 	tlb2m *TLB
+
+	// shootSeen is the shootdown-log generation this accessor has
+	// applied; trailing the system generation means pending TLB/cache
+	// invalidations to replay before the next translation is trusted.
+	shootSeen uint64
 
 	// l1 is a small set-associative first-level filter; hits cost
 	// almost nothing and never reach the LLC model.
@@ -52,13 +60,14 @@ type Accessor struct {
 	lastWb uint64
 
 	// cost constants in cycles, precomputed from SystemParams
-	l1HitCycles      float64
-	llcHitCycles     float64
-	pageWalkCycles   float64
-	loadMissCycles   [NumTiers]float64 // exposed latency per random miss
-	storeMissCycles  [NumTiers]float64
-	prefetchedCycles [NumTiers]float64 // exposed latency per sequential miss
-	grain            [NumTiers]uint64
+	l1HitCycles        float64
+	llcHitCycles       float64
+	pageWalkCycles     float64
+	loadMissCycles     [NumTiers]float64 // exposed latency per random miss
+	storeMissCycles    [NumTiers]float64
+	prefetchedCycles   [NumTiers]float64 // exposed latency per sequential miss
+	grain              [NumTiers]uint64
+	quiesceStallCycles float64 // charge per quiesce-gate wait
 
 	// Cycles is the accumulated simulated time of this thread, in core
 	// cycles (compute + exposed memory latency + profiling overhead).
@@ -81,6 +90,13 @@ type Accessor struct {
 	LLCMisses       uint64
 	PrefetchedLines uint64
 	TLBMisses       uint64
+
+	// Concurrent-migration counters: translation retries against a
+	// mid-remap page, stores that waited out a quiesce gate, and
+	// shootdown-log ranges this accessor has applied.
+	SeqlockRetries    uint64
+	QuiesceStalls     uint64
+	ShootdownsApplied uint64
 }
 
 // NewAccessor creates the access path for one simulated thread. Each
@@ -101,6 +117,9 @@ func (s *System) NewAccessor() *Accessor {
 		l1HitCycles:    p.L1HitCycles,
 		llcHitCycles:   p.LLCHitNS * p.ClockGHz,
 		pageWalkCycles: p.PageWalkNS * p.ClockGHz,
+		// A store that catches a region mid-remap stalls for roughly one
+		// remote-invalidation round trip, the same scale as a shootdown.
+		quiesceStallCycles: p.TLBShootdownNS * p.ClockGHz,
 	}
 	for t := Tier(0); t < NumTiers; t++ {
 		tp := p.Tiers[t]
@@ -160,7 +179,50 @@ func (a *Accessor) StoreRange(addr uint64, elemSize uint32, count int) {
 	a.accessRange(addr, elemSize, count, true)
 }
 
+// drainShootdowns applies every shootdown-log range published since this
+// accessor last drained: cached translations and cache lines of each
+// range are dropped, exactly as the stop-the-world invalidation broadcast
+// would have done at the phase barrier. The fast path (generation
+// unchanged) is one atomic load.
+func (a *Accessor) drainShootdowns() {
+	if a.sys.shootGen.Load() == a.shootSeen {
+		return
+	}
+	ranges, gen := a.sys.shootdownsSince(a.shootSeen)
+	for _, r := range ranges {
+		a.InvalidateTLBRange(r.Base, r.Size)
+		a.InvalidateCacheRange(r.Base, r.Size)
+		a.ShootdownsApplied++
+	}
+	a.shootSeen = gen
+}
+
+// DrainShootdowns applies pending shootdowns immediately — the runtime
+// calls it at phase boundaries so an idle thread does not carry stale
+// translations into the next phase.
+func (a *Accessor) DrainShootdowns() { a.drainShootdowns() }
+
+// writeBarrier blocks a store to addr while a quiesce gate covers it,
+// charging one stall per waited gate. No-op (one atomic load) when no
+// migration is remapping.
+func (a *Accessor) writeBarrier(addr uint64) {
+	if a.sys.quiesceN.Load() == 0 {
+		return
+	}
+	if waited := a.sys.quiesceWait(addr); waited > 0 {
+		a.QuiesceStalls += uint64(waited)
+		a.Cycles += float64(waited) * a.quiesceStallCycles
+		// The gate lifted because a remap committed; pick up its
+		// shootdown before translating.
+		a.drainShootdowns()
+	}
+}
+
 func (a *Accessor) access(addr uint64, size uint32, write bool) {
+	a.drainShootdowns()
+	if write {
+		a.writeBarrier(addr)
+	}
 	a.Accesses++
 	line := addr >> a.lineShift
 	lastTouched := (addr + uint64(size) - 1) >> a.lineShift
@@ -182,6 +244,10 @@ func (a *Accessor) access(addr uint64, size uint32, write bool) {
 func (a *Accessor) accessRange(addr uint64, elemSize uint32, count int, write bool) {
 	if count <= 0 {
 		return
+	}
+	a.drainShootdowns()
+	if write {
+		a.writeBarrier(addr)
 	}
 	es := uint64(elemSize)
 	if es == 0 {
@@ -281,7 +347,18 @@ func (a *Accessor) accessLine(line uint64, write bool) {
 		a.llc.MarkDirty(line)
 	}
 	addr := line << a.lineShift
-	pi := a.sys.pt.Translate(addr)
+	pi, retries := a.sys.pt.TranslateStable(addr)
+	if retries > 0 {
+		// The page committed a remap while we spun; our cached
+		// translation (if any) is stale. Apply the shootdown eagerly
+		// rather than waiting for the log to reach us.
+		a.SeqlockRetries += uint64(retries)
+		tlb := a.tlb4k
+		if pi.Huge {
+			tlb = a.tlb2m
+		}
+		tlb.InvalidateRange(addr, 1)
+	}
 
 	// Translation: consult the TLB matching the mapping's page size.
 	tlb := a.tlb4k
@@ -378,6 +455,9 @@ func (a *Accessor) ResetCounters() {
 	a.LLCMisses = 0
 	a.PrefetchedLines = 0
 	a.TLBMisses = 0
+	a.SeqlockRetries = 0
+	a.QuiesceStalls = 0
+	a.ShootdownsApplied = 0
 	// A new phase starts a new writeback stream: do not let the last
 	// phase's final eviction coalesce across the barrier.
 	a.lastWb = ^uint64(0)
@@ -403,6 +483,12 @@ type PhaseStats struct {
 	LLCMisses       uint64
 	PrefetchedLines uint64
 	TLBMisses       uint64
+
+	// Concurrent-migration totals (always zero under stop-the-world
+	// placement).
+	SeqlockRetries    uint64
+	QuiesceStalls     uint64
+	ShootdownsApplied uint64
 }
 
 // ReducePhase folds per-thread accessor state into PhaseStats. Simulated
@@ -427,6 +513,9 @@ func (s *System) ReducePhase(accs []*Accessor) PhaseStats {
 		ps.LLCMisses += a.LLCMisses
 		ps.PrefetchedLines += a.PrefetchedLines
 		ps.TLBMisses += a.TLBMisses
+		ps.SeqlockRetries += a.SeqlockRetries
+		ps.QuiesceStalls += a.QuiesceStalls
+		ps.ShootdownsApplied += a.ShootdownsApplied
 	}
 	ps.LatencySeconds = maxCycles / (s.P.ClockGHz * 1e9 * float64(s.P.GangSize))
 

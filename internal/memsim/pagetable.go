@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
 
 // PageInfo describes the mapping of one 4 KiB virtual page.
 type PageInfo struct {
@@ -12,19 +16,75 @@ type PageInfo struct {
 	Tier Tier
 }
 
+// Each page-table entry packs into one atomic 64-bit word so a single
+// load observes a self-consistent mapping while a remap runs on another
+// goroutine. The layout is a per-page seqlock: the busy bit is the
+// writer's lock (translation spins while it is set), and the generation
+// counter advances on every committed change, so a stable word is always
+// either the pre-remap or the post-remap mapping — never a torn mix.
+const (
+	pteMapped uint64 = 1 << 0
+	pteHuge   uint64 = 1 << 1
+	// pteBusy marks a page mid-remap: the stored tier is the last
+	// committed one, and translation retries until the writer commits.
+	pteBusy uint64 = 1 << 2
+
+	pteTierShift = 8
+	pteTierMask  = uint64(0xff) << pteTierShift
+	pteGenShift  = 16
+)
+
+// packPTE encodes pi with the given generation (busy clear).
+func packPTE(pi PageInfo, gen uint64) uint64 {
+	var w uint64
+	if pi.Mapped {
+		w |= pteMapped
+	}
+	if pi.Huge {
+		w |= pteHuge
+	}
+	w |= uint64(pi.Tier) << pteTierShift
+	w |= gen << pteGenShift
+	return w
+}
+
+// unpackPTE decodes the mapping bits of a word (the busy bit and
+// generation are protocol state, not part of the mapping).
+func unpackPTE(w uint64) PageInfo {
+	return PageInfo{
+		Mapped: w&pteMapped != 0,
+		Huge:   w&pteHuge != 0,
+		Tier:   Tier((w & pteTierMask) >> pteTierShift),
+	}
+}
+
+func pteGen(w uint64) uint64 { return w >> pteGenShift }
+
 // PageTable maps a flat virtual address space to memory tiers at 4 KiB
 // granularity, with huge-page (2 MiB) mappings represented as 512
 // consecutive entries flagged Huge. It is the substrate both migration
 // engines manipulate: the ATMem engine remaps ranges wholesale and keeps
 // huge mappings, while the mbind-style engine splinters them into 4 KiB
 // pages (§2.3, §7.3).
+//
+// Entries are packed atomic words (see packPTE), so the accessor
+// translation path is safe against a concurrent remap: mutators are
+// serialized by the owning System's lock, while readers take no locks
+// and spin only across a remap's brief busy window. The entry slice
+// itself grows only at Alloc time, which the runtime never overlaps
+// with running kernels; the atomic.Pointer swap keeps even that case
+// well-defined for a racing reader (it sees the pre-grow entries, all
+// of which were copied verbatim).
 type PageTable struct {
-	pages []PageInfo // indexed by vaddr >> 12
+	pages atomic.Pointer[[]atomic.Uint64] // indexed by vaddr >> 12
 }
 
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{}
+	pt := &PageTable{}
+	empty := make([]atomic.Uint64, 0)
+	pt.pages.Store(&empty)
+	return pt
 }
 
 const (
@@ -34,19 +94,58 @@ const (
 	PagesPerHuge = 1 << (hugeShift - smallShift)
 )
 
+// slice returns the current entry array.
+func (pt *PageTable) slice() []atomic.Uint64 { return *pt.pages.Load() }
+
 func (pt *PageTable) grow(vpage uint64) {
-	if need := int(vpage) + 1; need > len(pt.pages) {
+	old := pt.slice()
+	if need := int(vpage) + 1; need > len(old) {
 		// Grow geometrically from the current length, not from the
 		// requested index: doubling `need` would over-allocate 2x on
 		// every first touch of a high page.
-		newLen := 2 * len(pt.pages)
+		newLen := 2 * len(old)
 		if newLen < need {
 			newLen = need
 		}
-		grown := make([]PageInfo, newLen)
-		copy(grown, pt.pages)
-		pt.pages = grown
+		grown := make([]atomic.Uint64, newLen)
+		for i := range old {
+			grown[i].Store(old[i].Load())
+		}
+		pt.pages.Store(&grown)
 	}
+}
+
+// word returns the raw entry of vpage (0 for out-of-range).
+func (pt *PageTable) word(vpage uint64) uint64 {
+	p := pt.slice()
+	if int(vpage) >= len(p) {
+		return 0
+	}
+	return p[vpage].Load()
+}
+
+// set commits a new mapping for vpage, bumping its generation and
+// clearing any busy bit. Callers are serialized by the System's lock.
+func (pt *PageTable) set(vpage uint64, pi PageInfo) {
+	p := pt.slice()
+	old := p[vpage].Load()
+	p[vpage].Store(packPTE(pi, pteGen(old)+1))
+}
+
+// markBusy opens the seqlock write window of vpage: the committed
+// mapping stays readable in the word, but TranslateStable spins until
+// the writer commits via set. Callers are serialized by the System's
+// lock.
+func (pt *PageTable) markBusy(vpage uint64) {
+	p := pt.slice()
+	p[vpage].Store(p[vpage].Load() | pteBusy)
+}
+
+// clearBusy closes a busy window without changing the mapping (used
+// when a validated range turns out to need no change).
+func (pt *PageTable) clearBusy(vpage uint64) {
+	p := pt.slice()
+	p[vpage].Store(p[vpage].Load() &^ pteBusy)
 }
 
 // Map establishes a mapping for [base, base+size) on the given tier. base
@@ -63,12 +162,12 @@ func (pt *PageTable) Map(base, size uint64, t Tier, huge bool) error {
 	first, n := base>>smallShift, size>>smallShift
 	pt.grow(first + n - 1)
 	for i := first; i < first+n; i++ {
-		if pt.pages[i].Mapped {
+		if pt.word(i)&pteMapped != 0 {
 			return fmt.Errorf("memsim: Map would double-map page %#x", i<<smallShift)
 		}
 	}
 	for i := first; i < first+n; i++ {
-		pt.pages[i] = PageInfo{Mapped: true, Huge: huge, Tier: t}
+		pt.set(i, PageInfo{Mapped: true, Huge: huge, Tier: t})
 	}
 	return nil
 }
@@ -91,43 +190,78 @@ func (pt *PageTable) Unmap(base, size uint64) error {
 		}
 	}
 	for i := first; i < first+n; i++ {
-		pt.pages[i] = PageInfo{}
+		pt.set(i, PageInfo{})
 	}
 	return nil
 }
 
 func (pt *PageTable) lookup(vpage uint64) (PageInfo, error) {
-	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
+	w := pt.word(vpage)
+	if w&pteMapped == 0 {
 		return PageInfo{}, fmt.Errorf("memsim: fault at unmapped page %#x", vpage<<smallShift)
 	}
-	return pt.pages[vpage], nil
+	return unpackPTE(w), nil
 }
 
 // Translate returns the mapping of the page containing addr. It panics on
 // an unmapped address: a simulated segfault, which always indicates a bug
 // in the runtime or a kernel accessing unregistered memory.
 func (pt *PageTable) Translate(addr uint64) PageInfo {
+	pi, _ := pt.TranslateStable(addr)
+	return pi
+}
+
+// TranslateStable returns the mapping of the page containing addr along
+// with the number of seqlock retries taken: if the page is mid-remap
+// (busy bit set), the read spins until the writer commits, so the
+// returned mapping is always a committed one — either the pre-remap or
+// the post-remap tier, never a transitional state. Like Translate it
+// panics on an unmapped address (a simulated segfault).
+func (pt *PageTable) TranslateStable(addr uint64) (PageInfo, int) {
 	vpage := addr >> smallShift
-	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
-		panic(fmt.Sprintf("memsim: simulated segfault at %#x", addr))
+	retries := 0
+	for {
+		w := pt.word(vpage)
+		if w&pteMapped == 0 {
+			panic(fmt.Sprintf("memsim: simulated segfault at %#x", addr))
+		}
+		if w&pteBusy == 0 {
+			return unpackPTE(w), retries
+		}
+		retries++
+		if retries&15 == 0 {
+			// The remap writer holds no lock the reader could wait on;
+			// yield so a single-P test run cannot live-lock the spin.
+			runtime.Gosched()
+		}
 	}
-	return pt.pages[vpage]
+}
+
+// Generation returns the seqlock generation of the page containing addr.
+// It advances on every committed mapping change; tests use it to assert
+// that a remap was (or was not) observed.
+func (pt *PageTable) Generation(addr uint64) uint64 {
+	return pteGen(pt.word(addr >> smallShift))
 }
 
 // TierOf returns the tier of the page containing addr and whether the page
-// is mapped at all.
+// is mapped at all. Unlike TranslateStable it does not wait out a busy
+// window: mid-remap it reports the last committed tier, which is what the
+// writeback path (cache evictions racing a migration) wants.
 func (pt *PageTable) TierOf(addr uint64) (Tier, bool) {
-	vpage := addr >> smallShift
-	if int(vpage) >= len(pt.pages) || !pt.pages[vpage].Mapped {
+	w := pt.word(addr >> smallShift)
+	if w&pteMapped == 0 {
 		return 0, false
 	}
-	return pt.pages[vpage].Tier, true
+	return unpackPTE(w).Tier, true
 }
 
 // Retier moves every page of [base, base+size) to tier t, preserving the
 // page granularity (huge mappings stay huge). This models the ATMem remap
 // step: the virtual addresses are untouched, only the physical backing
-// changes (§4.4).
+// changes (§4.4). The range transitions through the seqlock busy window
+// as a unit: readers that land inside the window retry until the new
+// tiers commit.
 func (pt *PageTable) Retier(base, size uint64, t Tier) error {
 	if base%SmallPage != 0 || size%SmallPage != 0 {
 		return fmt.Errorf("memsim: Retier [%#x,+%#x) not page-aligned", base, size)
@@ -139,7 +273,12 @@ func (pt *PageTable) Retier(base, size uint64, t Tier) error {
 		}
 	}
 	for i := first; i < first+n; i++ {
-		pt.pages[i].Tier = t
+		pt.markBusy(i)
+	}
+	for i := first; i < first+n; i++ {
+		pi := unpackPTE(pt.word(i))
+		pi.Tier = t
+		pt.set(i, pi)
 	}
 	return nil
 }
@@ -148,6 +287,8 @@ func (pt *PageTable) Retier(base, size uint64, t Tier) error {
 // 4 KiB mappings (whole huge pages are split, as the kernel does when
 // migrate_pages touches part of a THP). This models the mbind engine's
 // side effect that inflates post-migration TLB misses (§2.3, Table 4).
+// Each page flips in one atomic commit — a huge→small transition needs no
+// busy window because either word is a valid committed mapping.
 func (pt *PageTable) Splinter(base, size uint64) error {
 	if size == 0 {
 		return nil
@@ -157,9 +298,13 @@ func (pt *PageTable) Splinter(base, size uint64) error {
 	// Expand to huge-page boundaries of any huge mapping touched.
 	firstHuge := first / PagesPerHuge * PagesPerHuge
 	lastHuge := (last/PagesPerHuge + 1) * PagesPerHuge
-	for i := firstHuge; i < lastHuge && int(i) < len(pt.pages); i++ {
-		if pt.pages[i].Mapped && pt.pages[i].Huge {
-			pt.pages[i].Huge = false
+	p := pt.slice()
+	for i := firstHuge; i < lastHuge && int(i) < len(p); i++ {
+		w := p[i].Load()
+		if w&pteMapped != 0 && w&pteHuge != 0 {
+			pi := unpackPTE(w)
+			pi.Huge = false
+			pt.set(i, pi)
 		}
 	}
 	return nil
@@ -169,12 +314,14 @@ func (pt *PageTable) Splinter(base, size uint64) error {
 // part of huge mappings, and the total mapped page count.
 func (pt *PageTable) HugePages(base, size uint64) (huge, total int) {
 	first, n := base>>smallShift, (size+SmallPage-1)>>smallShift
-	for i := first; i < first+n && int(i) < len(pt.pages); i++ {
-		if !pt.pages[i].Mapped {
+	p := pt.slice()
+	for i := first; i < first+n && int(i) < len(p); i++ {
+		w := p[i].Load()
+		if w&pteMapped == 0 {
 			continue
 		}
 		total++
-		if pt.pages[i].Huge {
+		if w&pteHuge != 0 {
 			huge++
 		}
 	}

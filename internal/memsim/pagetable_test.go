@@ -212,14 +212,14 @@ func TestGrowGeometric(t *testing.T) {
 	if err := pt.Map(1024*SmallPage, SmallPage, TierFast, false); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(pt.pages), 1025; got != want {
+	if got, want := len(pt.slice()), 1025; got != want {
 		t.Errorf("grow to high page allocated %d entries, want %d (exact need)", got, want)
 	}
 	// A touch just past the end doubles instead of reallocating per page.
 	if err := pt.Map(1025*SmallPage, SmallPage, TierFast, false); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(pt.pages), 2050; got != want {
+	if got, want := len(pt.slice()), 2050; got != want {
 		t.Errorf("incremental grow allocated %d entries, want %d (2x previous)", got, want)
 	}
 }

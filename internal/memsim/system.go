@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"atmem/internal/faultinject"
 )
@@ -24,20 +25,50 @@ type FaultHook interface {
 	Check(op faultinject.Op) error
 }
 
+// ShootdownRange is one pending TLB-invalidation request: a migration
+// committed a remap of [Base, Base+Size) and every accessor must drop its
+// cached translations of the range before trusting them again.
+type ShootdownRange struct {
+	Base, Size uint64
+}
+
 // System is one simulated heterogeneous memory machine: a virtual address
-// space backed by two memory tiers. All mutating operations are
-// goroutine-safe; the hot read path used by accessors takes no locks and
-// relies on the runtime's phase structure (no allocation or migration
-// happens while kernels run).
+// space backed by two memory tiers.
+//
+// Concurrency contract: mutating operations are serialized by an internal
+// lock; the hot read path used by accessors (Translate/TierOf and the
+// capacity getters) takes no locks. Translation is safe against a
+// concurrent Retier/RestoreTiers through the page table's per-page
+// seqlock (see PageTable), tier ledgers are atomic counters, and remap
+// visibility reaches accessors through the shootdown log: a committed
+// remap appends a ShootdownRange, and each accessor drains the log at its
+// next access. Alloc/Free still must not overlap running kernels — the
+// runtime never allocates mid-phase — because growing the page table
+// swaps the entry slice.
 type System struct {
 	P SystemParams
 
 	mu       sync.Mutex
 	pt       *PageTable
 	nextVA   uint64
-	used     [NumTiers]uint64 // bytes mapped in the page table
-	reserved [NumTiers]uint64 // bytes held by Reserve (staging buffers)
+	used     [NumTiers]atomic.Uint64 // bytes mapped in the page table
+	reserved [NumTiers]atomic.Uint64 // bytes held by Reserve (staging buffers)
 	faults   FaultHook
+
+	// Shootdown log: every committed remap appends its range and bumps
+	// shootGen, so an accessor whose seen-generation trails can replay
+	// exactly the ranges it missed. Appends happen under shootMu; the
+	// generation is atomic so the accessor fast path (gen unchanged →
+	// nothing to drain) stays lock-free.
+	shootMu  sync.Mutex
+	shootLog []ShootdownRange
+	shootGen atomic.Uint64
+
+	// Quiesce gates: writers to a gated range block until the gate
+	// lifts. quiesceN is the lock-free fast path (no gates → no check).
+	quiesceMu sync.Mutex
+	quiesceN  atomic.Int32
+	gates     []*QuiesceGate
 }
 
 // NewSystem builds a System from params. It panics if params are invalid,
@@ -73,6 +104,11 @@ func (s *System) faultCheckLocked(op faultinject.Op) error {
 	return s.faults.Check(op)
 }
 
+// ledgerAdd / ledgerSub mutate a tier ledger. Callers hold s.mu (the
+// atomics exist for the lock-free readers, not to serialize writers).
+func ledgerAdd(l *atomic.Uint64, d uint64) { l.Add(d) }
+func ledgerSub(l *atomic.Uint64, d uint64) { l.Add(^(d - 1)) }
+
 // RoundUp rounds size up to a multiple of align (a power of two).
 func RoundUp(size, align uint64) uint64 {
 	return (size + align - 1) &^ (align - 1)
@@ -107,7 +143,7 @@ func (s *System) Alloc(size uint64, t Tier) (uint64, error) {
 		return 0, err
 	}
 	s.nextVA = base + mapped
-	s.used[t] += mapped
+	ledgerAdd(&s.used[t], mapped)
 	return base, nil
 }
 
@@ -145,7 +181,7 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 			return false, err
 		}
 		s.nextVA = base + aligned
-		s.used[t] += aligned
+		ledgerAdd(&s.used[t], aligned)
 		return true, nil
 	}
 	if ok, err := tryWhole(TierFast); err != nil || ok {
@@ -182,8 +218,8 @@ func (s *System) AllocPrefer(size uint64) (uint64, error) {
 		}
 	}
 	s.nextVA = base + mapped
-	s.used[TierFast] += fastPart
-	s.used[TierSlow] += slowPart
+	ledgerAdd(&s.used[TierFast], fastPart)
+	ledgerAdd(&s.used[TierSlow], slowPart)
 	return base, nil
 }
 
@@ -204,10 +240,10 @@ func (s *System) Free(base, size uint64) error {
 		if err != nil {
 			return err
 		}
-		s.used[pi.Tier] -= SmallPage
+		ledgerSub(&s.used[pi.Tier], SmallPage)
 	}
 	for i := first; i < first+n; i++ {
-		s.pt.pages[i] = PageInfo{}
+		s.pt.set(i, PageInfo{})
 	}
 	return nil
 }
@@ -244,11 +280,18 @@ func (s *System) retierLocked(base, size uint64, t Tier) error {
 		return fmt.Errorf("%w: tier %s: retier of %d bytes", ErrNoCapacity, t, moving)
 	}
 	for i := first; i < first+n; i++ {
-		if s.pt.pages[i].Tier != t {
-			s.used[s.pt.pages[i].Tier] -= SmallPage
-			s.used[t] += SmallPage
-			s.pt.pages[i].Tier = t
+		pi := unpackPTE(s.pt.word(i))
+		if pi.Tier == t {
+			continue
 		}
+		// Seqlock write window per page: readers that catch the busy
+		// bit retry; the ledger moves with the commit so the lock-free
+		// capacity getters never see the page double-counted.
+		s.pt.markBusy(i)
+		ledgerSub(&s.used[pi.Tier], SmallPage)
+		ledgerAdd(&s.used[t], SmallPage)
+		pi.Tier = t
+		s.pt.set(i, pi)
 	}
 	return nil
 }
@@ -267,7 +310,7 @@ func (s *System) Splinter(base, size uint64) error {
 // committedLocked is the capacity charge against tier t: mapped bytes
 // plus outstanding reservations. Callers hold s.mu.
 func (s *System) committedLocked(t Tier) uint64 {
-	return s.used[t] + s.reserved[t]
+	return s.used[t].Load() + s.reserved[t].Load()
 }
 
 // Reserve charges size bytes against tier t without mapping anything —
@@ -282,7 +325,7 @@ func (s *System) Reserve(size uint64, t Tier) error {
 	if s.committedLocked(t)+size > s.P.Tiers[t].CapacityBytes {
 		return fmt.Errorf("%w: tier %s: %d-byte reservation", ErrNoCapacity, t, size)
 	}
-	s.reserved[t] += size
+	ledgerAdd(&s.reserved[t], size)
 	return nil
 }
 
@@ -290,42 +333,40 @@ func (s *System) Reserve(size uint64, t Tier) error {
 func (s *System) Unreserve(size uint64, t Tier) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.reserved[t] < size {
+	if s.reserved[t].Load() < size {
 		panic("memsim: Unreserve below zero")
 	}
-	s.reserved[t] -= size
+	ledgerSub(&s.reserved[t], size)
 }
 
-// Used returns the bytes currently mapped or reserved on tier t.
+// Used returns the bytes currently mapped or reserved on tier t. It is a
+// lock-free atomic read, safe from kernel threads while a migration runs.
 func (s *System) Used(t Tier) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.committedLocked(t)
+	return s.used[t].Load() + s.reserved[t].Load()
 }
 
 // Reserved returns the bytes currently held by Reserve on tier t. After
 // a completed migration it must be zero — the no-leaked-reservations
 // invariant the runtime's post-migration checker enforces.
 func (s *System) Reserved(t Tier) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reserved[t]
+	return s.reserved[t].Load()
 }
 
-// TierUsage returns the mapped and reserved byte counts of tier t in one
-// consistent read — the occupancy pair the telemetry layer snapshots per
-// phase.
+// TierUsage returns the mapped and reserved byte counts of tier t. Each
+// counter is read atomically; the pair may straddle a concurrent
+// migration step, which telemetry snapshots tolerate.
 func (s *System) TierUsage(t Tier) (mapped, reserved uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used[t], s.reserved[t]
+	return s.used[t].Load(), s.reserved[t].Load()
 }
 
-// Free capacity remaining on tier t.
+// FreeCapacity returns the free capacity remaining on tier t.
 func (s *System) FreeCapacity(t Tier) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.P.Tiers[t].CapacityBytes - s.committedLocked(t)
+	committed := s.used[t].Load() + s.reserved[t].Load()
+	cap := s.P.Tiers[t].CapacityBytes
+	if committed > cap {
+		return 0
+	}
+	return cap - committed
 }
 
 // EffectiveOccupancy returns committed bytes on tier t as a fraction of
@@ -335,19 +376,17 @@ func (s *System) FreeCapacity(t Tier) uint64 {
 // reported as 1 (maximally pressured), and the fraction may exceed 1
 // when committed bytes eat into the holdback.
 func (s *System) EffectiveOccupancy(t Tier, holdback uint64) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cap := s.P.Tiers[t].CapacityBytes
 	if cap <= holdback {
 		return 1
 	}
-	return float64(s.committedLocked(t)) / float64(cap-holdback)
+	committed := s.used[t].Load() + s.reserved[t].Load()
+	return float64(committed) / float64(cap-holdback)
 }
 
-// TierOf returns the tier currently backing addr.
+// TierOf returns the tier currently backing addr. Lock-free; mid-remap it
+// reports the last committed tier.
 func (s *System) TierOf(addr uint64) (Tier, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.pt.TierOf(addr)
 }
 
@@ -406,8 +445,9 @@ func (s *System) TierSnapshot(base, size uint64) ([]Tier, error) {
 // primitive of the transactional migration engines, so it deliberately
 // bypasses the fault hook (an unwind path must not itself fault) and
 // performs no capacity check: restoring a snapshot only returns bytes to
-// tiers they were charged to when the snapshot was taken, which cannot
-// exceed capacity while the migration holds the system single-threaded.
+// tiers they were charged to when the snapshot was taken, and the
+// migration that took the snapshot still holds the reservations covering
+// any interim growth.
 func (s *System) RestoreTiers(base uint64, tiers []Tier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -421,14 +461,113 @@ func (s *System) RestoreTiers(base uint64, tiers []Tier) error {
 		}
 	}
 	for i, t := range tiers {
-		pi := &s.pt.pages[first+uint64(i)]
-		if pi.Tier != t {
-			s.used[pi.Tier] -= SmallPage
-			s.used[t] += SmallPage
-			pi.Tier = t
+		vpage := first + uint64(i)
+		pi := unpackPTE(s.pt.word(vpage))
+		if pi.Tier == t {
+			continue
 		}
+		s.pt.markBusy(vpage)
+		ledgerSub(&s.used[pi.Tier], SmallPage)
+		ledgerAdd(&s.used[t], SmallPage)
+		pi.Tier = t
+		s.pt.set(vpage, pi)
 	}
 	return nil
+}
+
+// Shootdown publishes a TLB-invalidation request for [base, base+size):
+// the range is appended to the shootdown log and the generation advances,
+// so every accessor drops its cached translations of the range at its
+// next access (see Accessor.drainShootdowns). This is the lazy, epoch-
+// based equivalent of the direct InvalidateTLBRange broadcast the
+// stop-the-world path uses.
+func (s *System) Shootdown(base, size uint64) {
+	s.shootMu.Lock()
+	s.shootLog = append(s.shootLog, ShootdownRange{Base: base, Size: size})
+	// Bump inside the lock so log length == generation always holds for
+	// a drainer that reads the generation first.
+	s.shootGen.Add(1)
+	s.shootMu.Unlock()
+}
+
+// ShootdownGen returns the current shootdown generation — the total
+// number of ranges ever published. Lock-free.
+func (s *System) ShootdownGen() uint64 { return s.shootGen.Load() }
+
+// shootdownsSince returns the log entries after generation seen, along
+// with the new generation. The log only grows, so the copy is stable.
+func (s *System) shootdownsSince(seen uint64) ([]ShootdownRange, uint64) {
+	gen := s.shootGen.Load()
+	if gen == seen {
+		return nil, seen
+	}
+	s.shootMu.Lock()
+	out := make([]ShootdownRange, gen-seen)
+	copy(out, s.shootLog[seen:gen])
+	s.shootMu.Unlock()
+	return out, gen
+}
+
+// QuiesceGate write-blocks a virtual address range while a migration
+// remaps it: kernel threads that try to store into the range wait on the
+// gate's channel until QuiesceEnd. Reads are never blocked (the staging
+// protocol keeps a valid copy readable throughout); only stores must not
+// land between the copy and the remap commit.
+type QuiesceGate struct {
+	base, size uint64
+	done       chan struct{}
+}
+
+// QuiesceBegin installs a write gate over [base, base+size) and returns
+// it. The caller must QuiesceEnd the gate; typically both calls bracket
+// only the Retier step of a staged region copy.
+func (s *System) QuiesceBegin(base, size uint64) *QuiesceGate {
+	g := &QuiesceGate{base: base, size: size, done: make(chan struct{})}
+	s.quiesceMu.Lock()
+	s.gates = append(s.gates, g)
+	s.quiesceMu.Unlock()
+	s.quiesceN.Add(1)
+	return g
+}
+
+// QuiesceEnd lifts the gate and wakes every blocked writer.
+func (s *System) QuiesceEnd(g *QuiesceGate) {
+	s.quiesceMu.Lock()
+	for i, cur := range s.gates {
+		if cur == g {
+			s.gates = append(s.gates[:i], s.gates[i+1:]...)
+			break
+		}
+	}
+	s.quiesceMu.Unlock()
+	// Drop the fast-path count before closing so a writer re-scanning
+	// the gate list cannot find the gate again after waking.
+	s.quiesceN.Add(-1)
+	close(g.done)
+}
+
+// quiesceWait blocks until no installed gate covers addr, returning how
+// many gates the caller waited out. The quiesceN fast path keeps the
+// no-migration case a single atomic load.
+func (s *System) quiesceWait(addr uint64) int {
+	waited := 0
+	for s.quiesceN.Load() > 0 {
+		var blocking *QuiesceGate
+		s.quiesceMu.Lock()
+		for _, g := range s.gates {
+			if addr >= g.base && addr < g.base+g.size {
+				blocking = g
+				break
+			}
+		}
+		s.quiesceMu.Unlock()
+		if blocking == nil {
+			return waited
+		}
+		waited++
+		<-blocking.done
+	}
+	return waited
 }
 
 // CheckConsistency verifies the capacity-accounting invariants: the page
@@ -439,19 +578,21 @@ func (s *System) CheckConsistency() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var mapped [NumTiers]uint64
-	for i := range s.pt.pages {
-		if s.pt.pages[i].Mapped {
-			mapped[s.pt.pages[i].Tier] += SmallPage
+	pages := s.pt.slice()
+	for i := range pages {
+		pi := unpackPTE(pages[i].Load())
+		if pi.Mapped {
+			mapped[pi.Tier] += SmallPage
 		}
 	}
 	for t := Tier(0); t < NumTiers; t++ {
-		if mapped[t] != s.used[t] {
+		if mapped[t] != s.used[t].Load() {
 			return fmt.Errorf("memsim: tier %s accounting drift: page table maps %d bytes, ledger says %d",
-				t, mapped[t], s.used[t])
+				t, mapped[t], s.used[t].Load())
 		}
 		if s.committedLocked(t) > s.P.Tiers[t].CapacityBytes {
 			return fmt.Errorf("memsim: tier %s over-committed: %d mapped + %d reserved > %d capacity",
-				t, s.used[t], s.reserved[t], s.P.Tiers[t].CapacityBytes)
+				t, s.used[t].Load(), s.reserved[t].Load(), s.P.Tiers[t].CapacityBytes)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -55,7 +56,7 @@ func (e *ATMemEngine) emit(ev Event) {
 // halved, down to a single small page, and finally skip the region and
 // continue with the rest of the plan. Skipped regions carry their last
 // error in the Stats outcomes; only a failed rollback aborts the run.
-func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+func (e *ATMemEngine) Migrate(ctx context.Context, sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
 	e.target = target
 	p := &sys.P
 	threads := e.Threads
@@ -73,13 +74,20 @@ func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		r := alignRegion(raw)
 		st.Regions++
 		st.BytesRequested += r.Size
+		if err := ctx.Err(); err != nil {
+			// Cancelled between regions: the rest of the plan is
+			// skipped without walking the degradation ladder.
+			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeSkipped, Err: err})
+			e.emit(Event{Kind: EventSkipped, Region: r, Seconds: st.Seconds, Err: err})
+			continue
+		}
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
 			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
 			e.emit(Event{Kind: EventMigrated, Region: r, Seconds: st.Seconds})
 			continue
 		}
-		out, err := e.migrateRegion(sys, r, target, staging, threads, &st)
+		out, err := e.migrateRegion(ctx, sys, r, target, staging, threads, &st)
 		st.recordOutcome(out)
 		if err != nil {
 			return st, err
@@ -98,13 +106,13 @@ func (e *ATMemEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 // attempt rolled itself back) halve the staging buffer — a smaller
 // transient reservation fits a tighter target tier — down to one small
 // page, then give up and leave the region in its original placement.
-func (e *ATMemEngine) migrateRegion(sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) (RegionOutcome, error) {
+func (e *ATMemEngine) migrateRegion(ctx context.Context, sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) (RegionOutcome, error) {
 	out := RegionOutcome{Region: r}
 	for stg := staging; ; {
 		out.Attempts++
 		e.emit(Event{Kind: EventAttempt, Region: r, Attempt: out.Attempts,
 			StagingBytes: stg, Seconds: st.Seconds})
-		err := e.attemptRegion(sys, r, target, stg, threads, st)
+		err := e.attemptRegion(ctx, sys, r, target, stg, threads, st)
 		if err == nil {
 			kind := EventMigrated
 			if out.Attempts > 1 {
@@ -123,6 +131,14 @@ func (e *ATMemEngine) migrateRegion(sys *memsim.System, r Region, target memsim.
 		// region is back on its pre-attempt placement.
 		e.emit(Event{Kind: EventRollback, Region: r, Attempt: out.Attempts,
 			StagingBytes: stg, Seconds: st.Seconds, Err: err})
+		if ctx.Err() != nil {
+			// Cancellation is not a capacity problem: retrying with a
+			// smaller staging buffer cannot help, so skip directly.
+			out.Outcome = OutcomeSkipped
+			e.emit(Event{Kind: EventSkipped, Region: r, Attempt: out.Attempts,
+				StagingBytes: stg, Seconds: st.Seconds, Err: err})
+			return out, nil
+		}
 		if stg <= memsim.SmallPage {
 			out.Outcome = OutcomeSkipped
 			e.emit(Event{Kind: EventSkipped, Region: r, Attempt: out.Attempts,
@@ -139,7 +155,7 @@ func (e *ATMemEngine) migrateRegion(sys *memsim.System, r Region, target memsim.
 // the failure. Boundary huge pages split by a failed attempt are not
 // re-merged — collapsing THPs back is khugepaged's job, not the unwind
 // path's — which only costs TLB reach, never consistency.
-func (e *ATMemEngine) attemptRegion(sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) error {
+func (e *ATMemEngine) attemptRegion(ctx context.Context, sys *memsim.System, r Region, target memsim.Tier, staging uint64, threads int, st *Stats) error {
 	p := &sys.P
 	src := target.Other()
 	snap, err := sys.TierSnapshot(r.Base, r.Size)
@@ -149,12 +165,18 @@ func (e *ATMemEngine) attemptRegion(sys *memsim.System, r Region, target memsim.
 
 	// rollback restores the already-remapped prefix [r.Base, r.Base+done)
 	// to its snapshot and returns cause; the restore is one batched
-	// remap plus one shootdown. A failed restore is unrecoverable.
+	// remap plus one shootdown. Like the forward remap it runs under a
+	// quiesce gate: concurrent stores must not land between the restore
+	// decision and the committed tiers. A failed restore is
+	// unrecoverable.
 	rollback := func(done uint64, cause error) error {
 		if done == 0 {
 			return cause
 		}
-		if rerr := sys.RestoreTiers(r.Base, snap[:done/memsim.SmallPage]); rerr != nil {
+		g := sys.QuiesceBegin(r.Base, done)
+		rerr := sys.RestoreTiers(r.Base, snap[:done/memsim.SmallPage])
+		sys.QuiesceEnd(g)
+		if rerr != nil {
 			return fmt.Errorf("%w: %v (while handling: %v)", ErrRollback, rerr, cause)
 		}
 		st.Seconds += p.RemapNSPerRegion * 1e-9
@@ -173,6 +195,9 @@ func (e *ATMemEngine) attemptRegion(sys *memsim.System, r Region, target memsim.
 	}
 
 	for off := uint64(0); off < r.Size; off += staging {
+		if err := ctx.Err(); err != nil {
+			return rollback(off, fmt.Errorf("migrate/atmem: cancelled: %w", err))
+		}
 		slice := staging
 		if off+slice > r.Size {
 			slice = r.Size - off
@@ -183,9 +208,16 @@ func (e *ATMemEngine) attemptRegion(sys *memsim.System, r Region, target memsim.
 		// Stage 1: parallel copy source region -> staging buffer
 		// (staging lives on the target memory, Figure 4a).
 		st.Seconds += copySeconds(p, slice, src, target, threads)
-		// Stage 2: remap the virtual pages onto empty target
-		// pages (no data moves, Figure 4b).
-		if err := sys.Retier(r.Base+off, slice, target); err != nil {
+		// Stage 2: remap the virtual pages onto empty target pages (no
+		// data moves, Figure 4b). Only this step write-blocks the slice:
+		// a store landing after the stage-1 copy but before the remap
+		// commit would be lost on the staged copy-back, so writers wait
+		// at the gate while readers continue against the committed
+		// mapping (the seqlock keeps their view consistent).
+		g := sys.QuiesceBegin(r.Base+off, slice)
+		err := sys.Retier(r.Base+off, slice, target)
+		sys.QuiesceEnd(g)
+		if err != nil {
 			sys.Unreserve(slice, target)
 			return rollback(off, fmt.Errorf("migrate/atmem: remap: %w", err))
 		}

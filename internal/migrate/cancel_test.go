@@ -1,0 +1,164 @@
+package migrate
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"atmem/internal/memsim"
+)
+
+// countdownCtx reports Canceled starting with the Nth Err() call. It
+// lets a test cancel at an exact point in the migration protocol — here,
+// between staging slices of one region — without racing a timer.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64 // Err() calls that still return nil
+}
+
+func newCountdownCtx(nilCalls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(nilCalls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelledPlanSkipsEveryRegion: a context cancelled before Migrate
+// starts skips the whole plan without touching placement.
+func TestCancelledPlanSkipsEveryRegion(t *testing.T) {
+	for _, e := range engines() {
+		s := testSystem(t)
+		base, err := s.Alloc(8*memsim.SmallPage, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		st, err := e.Migrate(ctx, s, []Region{
+			{Base: base, Size: 4 * memsim.SmallPage},
+			{Base: base + 4*memsim.SmallPage, Size: 4 * memsim.SmallPage},
+		}, memsim.TierFast)
+		if err != nil {
+			t.Fatalf("%s: cancelled plan returned a hard error: %v", e.Name(), err)
+		}
+		if st.RegionsSkipped != 2 || st.BytesMoved != 0 {
+			t.Errorf("%s: skipped %d regions, moved %d bytes; want 2 skipped, 0 moved",
+				e.Name(), st.RegionsSkipped, st.BytesMoved)
+		}
+		if on := s.BytesOnTier(base, 8*memsim.SmallPage); on[memsim.TierSlow] != 8*memsim.SmallPage {
+			t.Errorf("%s: cancelled plan changed placement: %v", e.Name(), on)
+		}
+		for _, o := range st.Outcomes {
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Errorf("%s: skip cause = %v, want context.Canceled", e.Name(), o.Err)
+			}
+		}
+	}
+}
+
+// TestCancelMidRegionRollsBackRemappedPrefix cancels between staging
+// slices: the region-entry check and the first slice pass, the second
+// slice's check fires. The slice already remapped to the fast tier must
+// be restored to the snapshot, the region skipped directly (cancellation
+// never walks the staging-halving ladder), and no reservation leaked.
+func TestCancelMidRegionRollsBackRemappedPrefix(t *testing.T) {
+	s := testSystem(t)
+	const pages = 4
+	base, err := s.Alloc(pages*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Err() call sequence: Migrate region entry, then one check per
+	// staging slice. Two nil calls let slice 0 remap; slice 1 cancels.
+	ctx := newCountdownCtx(2)
+	e := &ATMemEngine{StagingBytes: memsim.SmallPage}
+	var events []Event
+	e.SetEventSink(func(ev Event) { events = append(events, ev) })
+
+	st, err := e.Migrate(ctx, s, []Region{{Base: base, Size: pages * memsim.SmallPage}}, memsim.TierFast)
+	if err != nil {
+		t.Fatalf("mid-region cancellation escalated to a hard error: %v", err)
+	}
+	if st.RegionsSkipped != 1 || st.BytesMoved != 0 {
+		t.Errorf("skipped %d, moved %d; want the one region skipped with nothing moved",
+			st.RegionsSkipped, st.BytesMoved)
+	}
+	if len(st.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", st.Outcomes)
+	}
+	o := st.Outcomes[0]
+	if o.Outcome != OutcomeSkipped || !errors.Is(o.Err, context.Canceled) {
+		t.Errorf("outcome %v err %v, want skipped on context.Canceled", o.Outcome, o.Err)
+	}
+	if o.Attempts != 1 {
+		t.Errorf("cancellation walked the retry ladder: %d attempts", o.Attempts)
+	}
+	// The rollback restored the remapped first slice.
+	if on := s.BytesOnTier(base, pages*memsim.SmallPage); on[memsim.TierSlow] != pages*memsim.SmallPage {
+		t.Errorf("placement after rollback: %v, want everything back on the slow tier", on)
+	}
+	if res := s.Reserved(memsim.TierFast); res != 0 {
+		t.Errorf("leaked %d reserved staging bytes", res)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	// The sink saw the unwind: a rollback event then the skip.
+	var sawRollback, sawSkip bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventRollback:
+			sawRollback = true
+		case EventSkipped:
+			sawSkip = true
+		}
+	}
+	if !sawRollback || !sawSkip {
+		t.Errorf("event stream missing rollback/skip: %+v", events)
+	}
+}
+
+// TestCancelMidScheduleStopsLater verifies RunSchedule under the same
+// countdown: cancellation during the promotion pass leaves the demotion
+// results intact and reports the untouched regions as skipped.
+func TestCancelMidScheduleStopsLater(t *testing.T) {
+	s := testSystem(t)
+	base, err := s.Alloc(8*memsim.SmallPage, memsim.TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{
+		Promotions: []Region{
+			{Base: base, Size: 2 * memsim.SmallPage},
+			{Base: base + 2*memsim.SmallPage, Size: 2 * memsim.SmallPage},
+		},
+	}
+	// One nil Err() call: the first promotion region enters and there is
+	// one slice check... so give it exactly enough to finish region 1
+	// (entry + 1 slice with a region-sized staging buffer) and cancel
+	// region 2 at entry.
+	ctx := newCountdownCtx(2)
+	e := &ATMemEngine{StagingBytes: 2 * memsim.SmallPage}
+	res, err := RunSchedule(ctx, e, s, sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Promotions
+	if total.RegionsMigrated != 1 || total.RegionsSkipped != 1 {
+		t.Errorf("migrated %d skipped %d, want 1 and 1", total.RegionsMigrated, total.RegionsSkipped)
+	}
+	on := s.BytesOnTier(base, 8*memsim.SmallPage)
+	if on[memsim.TierFast] != 2*memsim.SmallPage {
+		t.Errorf("placement %v, want exactly the first region promoted", on)
+	}
+	if res := s.Reserved(memsim.TierFast); res != 0 {
+		t.Errorf("leaked %d reserved bytes", res)
+	}
+}

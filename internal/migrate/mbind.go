@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"fmt"
 
 	"atmem/internal/memsim"
@@ -48,7 +49,7 @@ func (e *MbindEngine) emit(ev Event) {
 // the rest of the plan continuing. Huge pages splintered before a failed
 // retier stay splintered, as they would under a real aborted
 // migrate_pages.
-func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
+func (e *MbindEngine) Migrate(ctx context.Context, sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error) {
 	e.target = target
 	p := &sys.P
 	batch := e.ShootdownBatchPages
@@ -60,6 +61,11 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 		r := alignRegion(raw)
 		st.Regions++
 		st.BytesRequested += r.Size
+		if err := ctx.Err(); err != nil {
+			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeSkipped, Err: err})
+			e.emit(Event{Kind: EventSkipped, Region: r, Seconds: st.Seconds, Err: err})
+			continue
+		}
 		moving := movingBytes(sys, r, target)
 		if moving == 0 {
 			st.recordOutcome(RegionOutcome{Region: r, Outcome: OutcomeMigrated})
@@ -117,8 +123,13 @@ func (e *MbindEngine) Migrate(sys *memsim.System, regions []Region, target memsi
 
 // attemptRegion is one kernel-style migration attempt: splinter every
 // huge mapping the range touches (the kernel path cannot migrate a THP
-// as a unit), then retier the whole region atomically.
+// as a unit), then retier the whole region atomically. The kernel
+// service has no staging copy, so the whole splinter+retier runs under
+// one region-wide quiesce gate — the longer write-block window is part
+// of why the paper's application-level mechanism wins.
 func (e *MbindEngine) attemptRegion(sys *memsim.System, r Region, target memsim.Tier, st *Stats) error {
+	g := sys.QuiesceBegin(r.Base, r.Size)
+	defer sys.QuiesceEnd(g)
 	hugeBefore, _ := sys.PageTable().HugePages(r.Base, r.Size)
 	if err := sys.Splinter(r.Base, r.Size); err != nil {
 		return err

@@ -20,6 +20,7 @@
 package migrate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -196,11 +197,14 @@ type Engine interface {
 	// placement, walks the engine's degradation ladder (retry with a
 	// smaller staging buffer, then skip), and continues with the rest
 	// of the plan — recoverable faults are reported as per-region
-	// Outcomes, not as an error. Migrate returns an error only for
-	// unrecoverable conditions (a failed rollback, wrapping
-	// ErrRollback), after which the system must be considered
-	// inconsistent.
-	Migrate(sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error)
+	// Outcomes, not as an error. Cancelling ctx stops the plan at the
+	// next region (or staging-slice) boundary: a region caught mid-copy
+	// rolls back via the same transaction, and every region not
+	// completed reports OutcomeSkipped with the context's error.
+	// Migrate returns an error only for unrecoverable conditions (a
+	// failed rollback, wrapping ErrRollback), after which the system
+	// must be considered inconsistent.
+	Migrate(ctx context.Context, sys *memsim.System, regions []Region, target memsim.Tier) (Stats, error)
 }
 
 // Schedule is a mixed-direction migration plan for one governed epoch:
@@ -239,8 +243,9 @@ type ScheduleResult struct {
 // elapsed seconds); each event's Target tier tells the passes apart. The
 // engine's sink is restored to nil afterwards. An unrecoverable engine
 // error aborts the schedule (a failed demotion pass skips promotions
-// entirely), with the partial result still populated.
-func RunSchedule(e Engine, sys *memsim.System, sched Schedule, sink EventSink) (ScheduleResult, error) {
+// entirely), with the partial result still populated. Cancelling ctx
+// skips the remainder of both passes (see Engine.Migrate).
+func RunSchedule(ctx context.Context, e Engine, sys *memsim.System, sched Schedule, sink EventSink) (ScheduleResult, error) {
 	res := ScheduleResult{
 		Demotions:  Stats{Engine: e.Name()},
 		Promotions: Stats{Engine: e.Name()},
@@ -250,7 +255,7 @@ func RunSchedule(e Engine, sys *memsim.System, sched Schedule, sink EventSink) (
 	var err error
 	if len(sched.Demotions) > 0 {
 		e.SetEventSink(sink)
-		res.Demotions, err = e.Migrate(sys, sched.Demotions, memsim.TierSlow)
+		res.Demotions, err = e.Migrate(ctx, sys, sched.Demotions, memsim.TierSlow)
 	}
 	if err == nil && len(sched.Promotions) > 0 {
 		offset := res.Demotions.Seconds
@@ -262,7 +267,7 @@ func RunSchedule(e Engine, sys *memsim.System, sched Schedule, sink EventSink) (
 		} else {
 			e.SetEventSink(sink)
 		}
-		res.Promotions, err = e.Migrate(sys, sched.Promotions, memsim.TierFast)
+		res.Promotions, err = e.Migrate(ctx, sys, sched.Promotions, memsim.TierFast)
 	}
 	res.Merged = mergeStats(e.Name(), res.Demotions, res.Promotions)
 	return res, err

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -31,7 +32,7 @@ func TestMigrationMovesPages(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
+		st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -53,10 +54,10 @@ func TestMigrationIdempotent(t *testing.T) {
 		s := testSystem(t)
 		base, _ := s.Alloc(memsim.HugePage, memsim.TierSlow)
 		r := []Region{{Base: base, Size: memsim.HugePage}}
-		if _, err := e.Migrate(s, r, memsim.TierFast); err != nil {
+		if _, err := e.Migrate(context.Background(), s, r, memsim.TierFast); err != nil {
 			t.Fatal(err)
 		}
-		st, err := e.Migrate(s, r, memsim.TierFast)
+		st, err := e.Migrate(context.Background(), s, r, memsim.TierFast)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestATMemPreservesInteriorHugePages(t *testing.T) {
 	base, _ := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
 	e := &ATMemEngine{}
 	// Migrate a region covering huge pages 1 and 2 exactly.
-	if _, err := e.Migrate(s, []Region{{Base: base + memsim.HugePage, Size: 2 * memsim.HugePage}}, memsim.TierFast); err != nil {
+	if _, err := e.Migrate(context.Background(), s, []Region{{Base: base + memsim.HugePage, Size: 2 * memsim.HugePage}}, memsim.TierFast); err != nil {
 		t.Fatal(err)
 	}
 	huge, total := s.PageTable().HugePages(base, 4*memsim.HugePage)
@@ -86,7 +87,7 @@ func TestATMemSplitsOnlyBoundaryHugePages(t *testing.T) {
 	e := &ATMemEngine{}
 	// Region starts halfway into huge page 0 and ends halfway into
 	// huge page 2: pages 0 and 2 split, page 1 stays huge.
-	st, err := e.Migrate(s, []Region{{
+	st, err := e.Migrate(context.Background(), s, []Region{{
 		Base: base + memsim.HugePage/2,
 		Size: 2 * memsim.HugePage,
 	}}, memsim.TierFast)
@@ -114,7 +115,7 @@ func TestMbindSplintersEverything(t *testing.T) {
 	s := testSystem(t)
 	base, _ := s.Alloc(4*memsim.HugePage, memsim.TierSlow)
 	e := &MbindEngine{}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestATMemFasterThanMbind(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		at, err := (&ATMemEngine{}).Migrate(s1, []Region{{Base: base1, Size: 4 * memsim.MiB}}, memsim.TierFast)
+		at, err := (&ATMemEngine{}).Migrate(context.Background(), s1, []Region{{Base: base1, Size: 4 * memsim.MiB}}, memsim.TierFast)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func TestATMemFasterThanMbind(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mb, err := (&MbindEngine{}).Migrate(s2, []Region{{Base: base2, Size: 4 * memsim.MiB}}, memsim.TierFast)
+		mb, err := (&MbindEngine{}).Migrate(context.Background(), s2, []Region{{Base: base2, Size: 4 * memsim.MiB}}, memsim.TierFast)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestStagingBufferRespectsCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := &ATMemEngine{StagingBytes: 512 * memsim.KiB}
-	if _, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.MiB}}, memsim.TierFast); err != nil {
+	if _, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 4 * memsim.MiB}}, memsim.TierFast); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.BytesOnTier(base, 4*memsim.MiB)[memsim.TierFast]; got != 4*memsim.MiB {
@@ -199,7 +200,7 @@ func TestMigrationDegradesWhenTargetFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.MiB}}, memsim.TierFast)
+		st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 8 * memsim.MiB}}, memsim.TierFast)
 		if err != nil {
 			t.Fatalf("%s: over-capacity migration errored instead of degrading: %v", e.Name(), err)
 		}
@@ -227,7 +228,7 @@ func TestUnalignedRegionsAreExpanded(t *testing.T) {
 	for _, e := range engines() {
 		s := testSystem(t)
 		base, _ := s.Alloc(memsim.HugePage, memsim.TierSlow)
-		st, err := e.Migrate(s, []Region{{Base: base + 100, Size: 50}}, memsim.TierFast)
+		st, err := e.Migrate(context.Background(), s, []Region{{Base: base + 100, Size: 50}}, memsim.TierFast)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +257,7 @@ func TestMigrationPreservesMappingTotality(t *testing.T) {
 		if engineSel {
 			e = &MbindEngine{}
 		}
-		if _, err := e.Migrate(s, []Region{{
+		if _, err := e.Migrate(context.Background(), s, []Region{{
 			Base: base + sp*memsim.SmallPage,
 			Size: np * memsim.SmallPage,
 		}}, memsim.TierFast); err != nil {
@@ -290,7 +291,7 @@ func TestFaultMidRegionRetierRollsBackAndRetries(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Nth: 2}},
 	}))
 	e := &ATMemEngine{StagingBytes: 2 * memsim.SmallPage}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestFaultStagingReserveWalksLadder(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpReserve, Nth: 1, Err: memsim.ErrNoCapacity}},
 	}))
 	e := &ATMemEngine{StagingBytes: 4 * memsim.SmallPage}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestFaultPersistentReserveSkipsRegion(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpReserve, Prob: 1}},
 	}))
 	e := &ATMemEngine{StagingBytes: 8 * memsim.SmallPage}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 4 * memsim.SmallPage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestFaultRollbackRestoresMixedPlacement(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Prob: 1}},
 	}))
 	e := &ATMemEngine{StagingBytes: memsim.SmallPage}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 8 * memsim.SmallPage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestFaultSplinterSkipsUnalignedRegion(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpSplinter, Prob: 1}},
 	}))
 	e := &ATMemEngine{}
-	st, err := e.Migrate(s, []Region{{Base: base + memsim.HugePage/2, Size: memsim.HugePage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base + memsim.HugePage/2, Size: memsim.HugePage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +438,7 @@ func TestFaultMbindRetierRetriesOnce(t *testing.T) {
 		Faults: []faultinject.Fault{{Op: faultinject.OpRetier, Nth: 1}},
 	}))
 	e := &MbindEngine{}
-	st, err := e.Migrate(s, []Region{{Base: base, Size: memsim.HugePage}}, memsim.TierFast)
+	st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: memsim.HugePage}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ func TestFaultPlanContinuesPastSkippedRegion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := e.Migrate(s, []Region{
+		st, err := e.Migrate(context.Background(), s, []Region{
 			{Base: big, Size: 4 * memsim.MiB},
 			{Base: small, Size: 256 * memsim.KiB},
 		}, memsim.TierFast)
@@ -504,7 +505,7 @@ func TestFaultEmptyScheduleIsBitIdentical(t *testing.T) {
 		if hook {
 			s.SetFaultHook(faultinject.New(faultinject.Schedule{}))
 		}
-		st, err := (&ATMemEngine{}).Migrate(s, []Region{
+		st, err := (&ATMemEngine{}).Migrate(context.Background(), s, []Region{
 			{Base: base + memsim.HugePage/2, Size: 2 * memsim.HugePage},
 		}, memsim.TierFast)
 		if err != nil {

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"testing"
 
 	"atmem/internal/memsim"
@@ -15,7 +16,7 @@ func TestDemotionDirection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := e.Migrate(s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierSlow)
+		st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: 2 * memsim.HugePage}}, memsim.TierSlow)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -50,7 +51,7 @@ func TestRunScheduleDemotionsFundPromotions(t *testing.T) {
 	e := &ATMemEngine{StagingBytes: 256 * memsim.KiB}
 
 	// Control: promotion without the demotion pass is skipped.
-	ctl, err := e.Migrate(s, []Region{{Base: b, Size: 2 * memsim.MiB}}, memsim.TierFast)
+	ctl, err := e.Migrate(context.Background(), s, []Region{{Base: b, Size: 2 * memsim.MiB}}, memsim.TierFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunScheduleDemotionsFundPromotions(t *testing.T) {
 	}
 
 	var events []Event
-	res, err := RunSchedule(e, s, Schedule{
+	res, err := RunSchedule(context.Background(), e, s, Schedule{
 		Demotions:  []Region{{Base: a, Size: 2 * memsim.MiB}},
 		Promotions: []Region{{Base: b, Size: 2 * memsim.MiB}},
 	}, func(ev Event) { events = append(events, ev) })
@@ -118,7 +119,7 @@ func TestRunScheduleDemotionsFundPromotions(t *testing.T) {
 
 func TestRunScheduleEmpty(t *testing.T) {
 	s := testSystem(t)
-	res, err := RunSchedule(&ATMemEngine{}, s, Schedule{}, nil)
+	res, err := RunSchedule(context.Background(), &ATMemEngine{}, s, Schedule{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

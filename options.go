@@ -1,0 +1,116 @@
+package atmem
+
+// This file is the functional-options construction API. New is the
+// preferred constructor; the variadic-struct NewRuntime survives as a
+// deprecated shim so existing call sites keep compiling. Each Option
+// mutates the same Options struct the shim takes, so the two surfaces
+// cannot drift.
+
+import (
+	"atmem/internal/core"
+	"atmem/internal/faultinject"
+	"atmem/internal/telemetry"
+)
+
+// Option configures a Runtime under construction (see New).
+type Option func(*Options)
+
+// New builds a runtime on the given testbed:
+//
+//	rt, err := atmem.New(atmem.NVMDRAM(),
+//		atmem.WithThreads(16),
+//		atmem.WithTelemetry(rec),
+//		atmem.WithAsyncPlacement(atmem.AsyncOptions{Enabled: true}),
+//	)
+//
+// Options apply in order; later options override earlier ones.
+func New(tb Testbed, opts ...Option) (*Runtime, error) {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return newRuntime(tb, o)
+}
+
+// WithPolicy sets the placement policy (default PolicyATMem).
+func WithPolicy(p Policy) Option {
+	return func(o *Options) { o.Policy = p }
+}
+
+// WithThreads overrides the testbed's simulated thread count.
+func WithThreads(n int) Option {
+	return func(o *Options) { o.Threads = n }
+}
+
+// WithEngine selects the migration mechanism Optimize uses (default
+// MigrateATMem).
+func WithEngine(m MigrationMechanism) Option {
+	return func(o *Options) { o.Mechanism = m }
+}
+
+// WithAnalyzer overrides the two-stage analyzer configuration.
+func WithAnalyzer(cfg core.Config) Option {
+	return func(o *Options) { o.Analyzer = cfg }
+}
+
+// WithSamplePeriod fixes the profiler period (0 keeps the automatic
+// adjustment of §5.1).
+func WithSamplePeriod(period uint64) Option {
+	return func(o *Options) { o.SamplePeriod = period }
+}
+
+// WithSampleOverheadNS overrides the per-sample capture cost.
+func WithSampleOverheadNS(ns float64) Option {
+	return func(o *Options) { o.SampleOverheadNS = ns }
+}
+
+// WithCapacityReserve holds back bytes of fast memory from the placement
+// budget (see Options.CapacityReserve).
+func WithCapacityReserve(bytes uint64) Option {
+	return func(o *Options) { o.CapacityReserve = bytes }
+}
+
+// WithFaultSchedule arms deterministic fault injection at the
+// simulator's capacity-mutating operations (see Options.FaultSchedule).
+func WithFaultSchedule(s faultinject.Schedule) Option {
+	return func(o *Options) { o.FaultSchedule = &s }
+}
+
+// WithTelemetry attaches a telemetry recorder (see Options.Recorder).
+func WithTelemetry(rec *telemetry.Recorder) Option {
+	return func(o *Options) { o.Recorder = rec }
+}
+
+// WithGovernor enables and configures the epoch-adaptive placement
+// governor (see Options.Governor). The Enabled field is forced on.
+func WithGovernor(g GovernorOptions) Option {
+	return func(o *Options) {
+		g.Enabled = true
+		o.Governor = g
+	}
+}
+
+// WithBandwidthAware toggles the aggregate-bandwidth placement
+// enhancement (see Options.BandwidthAware).
+func WithBandwidthAware(on bool) Option {
+	return func(o *Options) { o.BandwidthAware = on }
+}
+
+// WithAsyncPlacement enables overlapped background placement: governed
+// epochs driven via RunEpochAsync migrate the previous interval's plan
+// concurrently with the next interval's phases. The Enabled field is
+// forced on, and the governor is implied (see AsyncOptions).
+func WithAsyncPlacement(a AsyncOptions) Option {
+	return func(o *Options) {
+		a.Enabled = true
+		o.Async = a
+	}
+}
+
+// WithOptions merges a whole Options struct, for callers migrating from
+// the deprecated NewRuntime signature one step at a time.
+func WithOptions(full Options) Option {
+	return func(o *Options) { *o = full }
+}

@@ -1,6 +1,7 @@
 package atmem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -57,9 +58,27 @@ type Runtime struct {
 	profOpen      bool
 	faultsTraced  int
 	breakerTraced int
+
+	// Overlapped-placement state (see async.go). asyncActive is true
+	// while a background placement worker may run concurrently with
+	// kernels: migration then publishes invalidations through the
+	// system's shootdown log instead of broadcasting directly, skips
+	// the mid-kernel CRC check, and leaves the sim-clock reconciliation
+	// to the epoch join. placeTID is the worker's telemetry track.
+	asyncActive    atomic.Bool
+	placeTID       int
+	pendingSamples int     // attributed samples awaiting background placement
+	pendingPeriod  uint64  // profiler period those samples were captured at
+	overlapTotalS  float64 // cumulative overlapped migration seconds
+	stolenTotalS   float64 // cumulative stolen-bandwidth seconds
 }
 
 // NewRuntime builds a runtime on the given testbed.
+//
+// Deprecated: use New with functional options (WithThreads, WithEngine,
+// WithTelemetry, ...). This variadic-struct signature survives as a shim
+// so existing call sites keep compiling; both constructors build the
+// identical runtime.
 func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 	var o Options
 	if len(opts) > 1 {
@@ -68,6 +87,11 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
+	return newRuntime(tb, o)
+}
+
+// newRuntime is the shared constructor behind New and NewRuntime.
+func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	o = o.withDefaults()
 	p := tb.params
 	if o.Threads > 0 {
@@ -117,7 +141,11 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 	}
 	r.rec = o.Recorder
 	r.rec.SetSimClock(r.simNS.Load)
-	r.rec.EnsureThreads(p.Threads)
+	// One extra track past the simulated threads for the background
+	// placement worker, so its spans never share a shard (single-writer
+	// discipline) or a nesting level with the control track.
+	r.placeTID = p.Threads
+	r.rec.EnsureThreads(p.Threads + 1)
 	return r, nil
 }
 
@@ -374,10 +402,19 @@ func (r *Runtime) Manifest() []ObjectManifest {
 // bytes bit-identical); a violation is a bug in the migration machinery
 // and is returned as an error.
 func (r *Runtime) Optimize() (MigrationReport, error) {
+	return r.OptimizeCtx(context.Background())
+}
+
+// OptimizeCtx is Optimize with cancellation: a cancelled ctx stops the
+// migration plan at the next region (or staging-slice) boundary, rolls
+// a region caught mid-copy back via the per-region transaction, and
+// reports the unfinished regions as skipped outcomes — in-band partial
+// success, not an error.
+func (r *Runtime) OptimizeCtx(ctx context.Context) (MigrationReport, error) {
 	if r.resid != nil {
 		// Governed runtimes diff the plan against residency and may
 		// demote as well as promote; see governor.go.
-		return r.optimizeGoverned()
+		return r.optimizeGoverned(ctx, r.prof.Config().Period, 0)
 	}
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
@@ -385,7 +422,7 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 	optStart := r.simNS.Load()
 	r.rec.Begin(0, "optimize", "optimize", nil)
 	defer func() {
-		r.logNewFaults()
+		r.logNewFaults(0)
 		r.rec.End(0, "optimize", "optimize", r.optimizeSpanArgs())
 	}()
 	free := r.sys.FreeCapacity(memsim.TierFast)
@@ -400,7 +437,7 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 		return r.migrationReport(), nil
 	}
 	budget := free - r.opts.CapacityReserve
-	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver())
+	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver(0))
 	if err != nil {
 		return MigrationReport{}, err
 	}
@@ -418,11 +455,11 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 	pre := r.objectChecksums()
 	if r.rec.Enabled() {
 		r.engine.SetEventSink(func(ev migrate.Event) {
-			r.emitMigrationEvent(optStart, ev)
+			r.emitMigrationEvent(0, optStart, ev)
 		})
 		defer r.engine.SetEventSink(nil)
 	}
-	st, err := r.engine.Migrate(r.sys, regions, memsim.TierFast)
+	st, err := r.engine.Migrate(ctx, r.sys, regions, memsim.TierFast)
 	r.migStats = &st
 	r.simNS.Add(uint64(st.Seconds * 1e9))
 	if err != nil {
@@ -431,20 +468,33 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 		return r.migrationReport(), fmt.Errorf("atmem: migration: %w", err)
 	}
 
-	// Both mechanisms invalidate the moved ranges from every thread's
-	// TLB (shootdown) and cache (lines now map to new physical pages).
-	// Only committed slices are stale: rolled-back and skipped regions
-	// kept their placement, so their translations stay valid.
-	for _, a := range r.accessors {
-		for _, rg := range st.Moved {
-			a.InvalidateTLBRange(rg.Base, rg.Size)
-			a.InvalidateCacheRange(rg.Base, rg.Size)
-		}
-	}
+	r.invalidateMoved(st.Moved)
 	if err := r.verifyMigrationInvariants(pre); err != nil {
 		return r.migrationReport(), fmt.Errorf("atmem: post-migration invariant violated: %w", err)
 	}
 	return r.migrationReport(), nil
+}
+
+// invalidateMoved drops the stale TLB and cache entries of exactly the
+// committed migration slices (rolled-back and skipped regions kept their
+// placement, so their translations stay valid). Stop-the-world callers
+// broadcast directly into every accessor; while a background placement
+// worker runs, accessors are live on other goroutines, so the ranges go
+// through the system's shootdown log and each accessor drains them at
+// its next access.
+func (r *Runtime) invalidateMoved(moved []migrate.Region) {
+	if r.asyncActive.Load() {
+		for _, rg := range moved {
+			r.sys.Shootdown(rg.Base, rg.Size)
+		}
+		return
+	}
+	for _, a := range r.accessors {
+		for _, rg := range moved {
+			a.InvalidateTLBRange(rg.Base, rg.Size)
+			a.InvalidateCacheRange(rg.Base, rg.Size)
+		}
+	}
 }
 
 // crcTable backs the object-data checksums of the migration invariant
@@ -452,7 +502,15 @@ func (r *Runtime) Optimize() (MigrationReport, error) {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // objectChecksums fingerprints every registered object's byte backing.
+// It returns nil while a background placement worker overlaps running
+// kernels: the kernels are mutating object bytes concurrently, so a
+// checksum would race; migration itself never touches object data
+// (virtual addresses are stable), and the end-to-end CRC comparison
+// runs at epoch boundaries instead.
 func (r *Runtime) objectChecksums() map[uint64]uint32 {
+	if r.asyncActive.Load() {
+		return nil
+	}
 	out := make(map[uint64]uint32, len(r.objects))
 	for base, o := range r.objects {
 		if o.data != nil {
@@ -547,6 +605,10 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 	r.rec.Begin(0, "phase", name, nil)
 	for _, a := range r.accessors {
 		a.ResetCounters()
+		// Apply shootdowns published since the thread's last access, so
+		// an idle thread does not carry stale translations into the
+		// phase (its applied count lands in this phase's counters).
+		a.DrainShootdowns()
 	}
 	var wg sync.WaitGroup
 	for i := range r.accessors {
@@ -577,3 +639,9 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 
 // Phases returns the results of all phases run so far.
 func (r *Runtime) Phases() []PhaseResult { return r.phases }
+
+// SimSeconds returns the simulated clock: total simulated seconds of
+// every phase plus the charged share of every migration so far (the
+// full modelled time under stop-the-world placement; only the excess
+// and stolen-bandwidth share under overlapped placement).
+func (r *Runtime) SimSeconds() float64 { return float64(r.simNS.Load()) / 1e9 }

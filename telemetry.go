@@ -22,31 +22,36 @@ import (
 // telemetry is off).
 func (r *Runtime) Telemetry() *telemetry.Recorder { return r.rec }
 
-// stageObserver adapts the recorder to the analyzer's stage hooks; it
-// returns nil (no observation) when telemetry is off.
-func (r *Runtime) stageObserver() core.StageObserver {
+// stageObserver adapts the recorder to the analyzer's stage hooks,
+// recording onto the given track (the placement track when the analyzer
+// runs on the background service goroutine); it returns nil (no
+// observation) when telemetry is off.
+func (r *Runtime) stageObserver(tid int) core.StageObserver {
 	if !r.rec.Enabled() {
 		return nil
 	}
-	return stageRecorder{r.rec}
+	return stageRecorder{r.rec, tid}
 }
 
-// stageRecorder records each analyzer stage as a span on the control
-// track, with the stage's decision summary on the closing edge.
-type stageRecorder struct{ rec *telemetry.Recorder }
+// stageRecorder records each analyzer stage as a span on its track, with
+// the stage's decision summary on the closing edge.
+type stageRecorder struct {
+	rec *telemetry.Recorder
+	tid int
+}
 
 func (s stageRecorder) StageBegin(stage string) {
-	s.rec.Begin(0, "analyze", stage, nil)
+	s.rec.Begin(s.tid, "analyze", stage, nil)
 }
 
 func (s stageRecorder) StageEnd(stage string, summary map[string]any) {
-	s.rec.End(0, "analyze", stage, telemetry.Args(summary))
+	s.rec.End(s.tid, "analyze", stage, telemetry.Args(summary))
 }
 
 // emitMigrationEvent places one engine event on the simulated clock: the
 // engine models its own elapsed seconds within the Optimize window, so
 // the event lands at the window's start plus that offset.
-func (r *Runtime) emitMigrationEvent(startNS uint64, ev migrate.Event) {
+func (r *Runtime) emitMigrationEvent(tid int, startNS uint64, ev migrate.Event) {
 	args := telemetry.Args{
 		"base":   ev.Region.Base,
 		"bytes":  ev.Region.Size,
@@ -61,7 +66,7 @@ func (r *Runtime) emitMigrationEvent(startNS uint64, ev migrate.Event) {
 	if ev.Err != nil {
 		args["error"] = ev.Err.Error()
 	}
-	r.rec.InstantAt(0, startNS+uint64(ev.Seconds*1e9),
+	r.rec.InstantAt(tid, startNS+uint64(ev.Seconds*1e9),
 		"migrate", "region-"+string(ev.Kind), args)
 }
 
@@ -100,14 +105,14 @@ func (r *Runtime) optimizeSpanArgs() telemetry.Args {
 // trace as instants on the governor track (same drain pattern as
 // logNewFaults). The governed Optimize calls it before closing its
 // span, so a transition lands inside the epoch that caused it.
-func (r *Runtime) logBreakerTransitions() {
+func (r *Runtime) logBreakerTransitions(tid int) {
 	if !r.rec.Enabled() || r.breaker == nil {
 		return
 	}
 	trs := r.breaker.Transitions()
 	for ; r.breakerTraced < len(trs); r.breakerTraced++ {
 		tr := trs[r.breakerTraced]
-		r.rec.Instant(0, "governor", "breaker-"+tr.To.String(), telemetry.Args{
+		r.rec.Instant(tid, "governor", "breaker-"+tr.To.String(), telemetry.Args{
 			"epoch":    tr.Epoch,
 			"from":     tr.From.String(),
 			"reason":   tr.Reason,
@@ -169,14 +174,14 @@ func (r *Runtime) emitChunkHeat() {
 // span; the trace writers call it again so Alloc-time faults (outside
 // any Optimize) also reach the written trace, keeping the trace's fault
 // events in one-to-one correspondence with Runtime.FaultEvents.
-func (r *Runtime) logNewFaults() {
+func (r *Runtime) logNewFaults(tid int) {
 	if !r.rec.Enabled() || r.faults == nil {
 		return
 	}
 	evs := r.faults.Events()
 	for ; r.faultsTraced < len(evs); r.faultsTraced++ {
 		ev := evs[r.faultsTraced]
-		r.rec.Instant(0, "fault", string(ev.Op), telemetry.Args{
+		r.rec.Instant(tid, "fault", string(ev.Op), telemetry.Args{
 			"call": ev.Call,
 			"rule": ev.Rule,
 		})
@@ -187,14 +192,14 @@ func (r *Runtime) logNewFaults() {
 // trace-event JSON (see telemetry.WriteChromeTrace). Pending fault
 // events are synced into the trace first.
 func (r *Runtime) WriteTrace(w io.Writer) error {
-	r.logNewFaults()
+	r.logNewFaults(0)
 	return telemetry.WriteChromeTrace(w, r.rec.Events())
 }
 
 // WriteTraceCSV writes the recorded events as a flat CSV timeline with
 // both clocks in explicit columns.
 func (r *Runtime) WriteTraceCSV(w io.Writer) error {
-	r.logNewFaults()
+	r.logNewFaults(0)
 	return telemetry.WriteCSV(w, r.rec.Events())
 }
 
