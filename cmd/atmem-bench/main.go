@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"atmem/internal/harness"
 )
@@ -25,6 +27,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceDir := flag.String("trace", "", "record telemetry and write per-run trace artifacts into this directory")
 	async := flag.Bool("async", false, "drive every ATMem-policy run through overlapped background placement (migration concurrent with kernels)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to this file")
+	benchJSON := flag.String("bench-json", harness.BenchSimPath, "path the bench-sim experiment writes its JSON artifact to")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atmem-bench [-format text|csv|md|json] [-v] <experiment>...|all\n\nexperiments ('all' runs the paper set; extensions run by id):\n")
 		for _, e := range harness.AllExperiments() {
@@ -58,19 +63,57 @@ func main() {
 		}
 	}
 
+	harness.BenchSimPath = *benchJSON
+	// runAll lives in its own function so the profile writers flush on
+	// every exit path, including experiment failures.
+	os.Exit(runAll(exps, *format, *verbose, *traceDir, *async, *cpuprofile, *memprofile))
+}
+
+func runAll(exps []harness.Experiment, format string, verbose bool, traceDir string, async bool, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmem-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "atmem-bench: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atmem-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "atmem-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	suite := harness.NewSuite()
-	suite.Verbose = *verbose
-	suite.TraceDir = *traceDir
-	suite.Async = *async
+	suite.Verbose = verbose
+	suite.TraceDir = traceDir
+	suite.Async = async
 	for _, e := range exps {
 		reports, err := e.Run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atmem-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, rep := range reports {
 			var err error
-			switch *format {
+			switch format {
 			case "text":
 				err = rep.WriteText(os.Stdout)
 				fmt.Println()
@@ -81,13 +124,14 @@ func main() {
 			case "json":
 				err = rep.WriteJSON(os.Stdout)
 			default:
-				fmt.Fprintf(os.Stderr, "atmem-bench: unknown format %q\n", *format)
-				os.Exit(2)
+				fmt.Fprintf(os.Stderr, "atmem-bench: unknown format %q\n", format)
+				return 2
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "atmem-bench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }

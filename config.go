@@ -175,6 +175,14 @@ type Options struct {
 	// bytes. Ignored on shared-channel systems (Optane), where
 	// splitting traffic only serializes it.
 	BandwidthAware bool
+	// PlanCache, when non-nil, enables compiled-plan record/replay on a
+	// governed runtime (see Runtime.ArmPlan): a first governed run
+	// records its per-epoch placement decisions into a static migration
+	// DAG keyed by the workload signature; subsequent runs with a
+	// matching signature replay the cached schedule, skipping profiling
+	// and analysis entirely. A shared cache lets many runtimes in one
+	// process (e.g. a benchmark suite) reuse each other's plans.
+	PlanCache *core.PlanCache
 	// Async configures overlapped background placement: RunEpochAsync
 	// migrates the previous interval's plan on a service goroutine while
 	// the next interval's phases run, the way the paper's service

@@ -64,6 +64,10 @@ type EpochReport struct {
 	// StolenSeconds is the share of the overlapped time charged back to
 	// the simulated clock as bandwidth stolen from the running kernels.
 	StolenSeconds float64
+	// Replayed marks an epoch that executed a compiled plan's recorded
+	// schedule instead of the profile→analyze→migrate loop (see
+	// Runtime.ArmPlan).
+	Replayed bool
 }
 
 // Epoch returns the current epoch count (epochs started so far).
@@ -114,6 +118,11 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	if r.resid == nil {
 		return EpochReport{}, fmt.Errorf("atmem: RunEpoch requires Options.Governor.Enabled")
 	}
+	if r.armedPlan != nil {
+		// A compiled plan is armed: replay its recorded schedule instead
+		// of profiling and analyzing (see replay.go).
+		return r.runEpochReplay(ctx, name, body)
+	}
 	r.epoch++
 	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch})
 	rep := EpochReport{Epoch: r.epoch}
@@ -127,10 +136,21 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	rep.Samples = r.ProfilingStop()
 	rep.Phases = append(rep.Phases, r.phases[phaseStart:]...)
 
+	// While a recorder is armed, every epoch must land in the plan —
+	// including ones that never reach the commit point (zero samples,
+	// open breaker, empty budget) — so the replayed epoch numbering stays
+	// aligned with the bodies the caller runs.
+	recBase := -1
+	if r.planRec != nil {
+		recBase = r.planRec.Epochs()
+	}
 	var err error
 	if rep.Samples > 0 {
 		rep.Optimized = true
 		rep.Migration, err = r.optimizeGoverned(ctx, r.prof.Config().Period, 0)
+	}
+	if r.planRec != nil && r.planRec.Epochs() == recBase {
+		r.recordCommitted(nil, nil)
 	}
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
@@ -299,6 +319,9 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	gi.promotedBytes = res.Promotions.BytesMoved
 	gi.demotedBytes = res.Demotions.BytesMoved
 	gi.regionsDemoted = len(res.Demotions.Moved)
+	// Plan recording captures exactly what committed this epoch — the
+	// decisions a replay must reproduce (see replay.go).
+	r.recordCommitted(res.Promotions.Moved, res.Demotions.Moved)
 
 	// A cancelled plan skips regions deliberately; that is the caller's
 	// choice, not a failing migration path, so it must not trip the

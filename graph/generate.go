@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"atmem/internal/stats"
 )
@@ -42,28 +44,71 @@ func GenerateRMAT(name string, p RMATParams) (*Graph, error) {
 	n := 1 << p.Scale
 	m := n * p.EdgeFactor
 	rng := stats.NewRNG(p.Seed)
-	edges := make([]Edge, 0, m)
-	ab := p.A + p.B
-	abc := ab + p.C
-	for i := 0; i < m; i++ {
-		var src, dst uint32
-		for bit := p.Scale - 1; bit >= 0; bit-- {
-			r := rng.Float64()
-			switch {
-			case r < p.A:
-				// top-left: no bits set
-			case r < ab:
-				dst |= 1 << bit
-			case r < abc:
-				src |= 1 << bit
-			default:
-				src |= 1 << bit
-				dst |= 1 << bit
+	edges := make([]Edge, m)
+	if p.Scale >= parallelRMATScale {
+		// Paper-scale graphs shard the edge stream across a FIXED number
+		// of Fork()ed deterministic streams, so the graph depends only on
+		// the parameters — never on host core count or scheduling — while
+		// the sampling runs on every core. The scale gate keeps every
+		// pre-existing (sequentially generated) dataset bit-identical.
+		const shards = 64
+		per := (m + shards - 1) / shards
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for sh := 0; sh < shards; sh++ {
+			lo := sh * per
+			hi := lo + per
+			if hi > m {
+				hi = m
 			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(sh, lo, hi int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r := rng.Fork(uint64(sh) + 1)
+				for i := lo; i < hi; i++ {
+					edges[i] = sampleRMATEdge(r, p)
+				}
+			}(sh, lo, hi)
 		}
-		edges = append(edges, Edge{src, dst})
+		wg.Wait()
+	} else {
+		for i := 0; i < m; i++ {
+			edges[i] = sampleRMATEdge(rng, p)
+		}
 	}
 	return FromEdges(name, n, edges, true)
+}
+
+// parallelRMATScale is the scale at or above which GenerateRMAT samples
+// its edge stream in parallel shards. Scales below it (every built-in
+// scaled dataset) keep the original sequential RNG stream.
+const parallelRMATScale = 22
+
+// sampleRMATEdge draws one edge by the recursive quadrant descent.
+func sampleRMATEdge(rng *stats.RNG, p RMATParams) Edge {
+	ab := p.A + p.B
+	abc := ab + p.C
+	var src, dst uint32
+	for bit := p.Scale - 1; bit >= 0; bit-- {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: no bits set
+		case r < ab:
+			dst |= 1 << bit
+		case r < abc:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return Edge{src, dst}
 }
 
 // SocialParams parameterize the social-network generator used for the

@@ -9,7 +9,9 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 )
 
 // Edge is one directed edge of an edge list.
@@ -88,37 +90,86 @@ func FromEdges(name string, numVertices int, edges []Edge, dedup bool) (*Graph, 
 			return nil, fmt.Errorf("graph %q: edge (%d,%d) out of range", name, e.Src, e.Dst)
 		}
 	}
-	sorted := make([]Edge, len(edges))
-	copy(sorted, edges)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Src != sorted[j].Src {
-			return sorted[i].Src < sorted[j].Src
-		}
-		return sorted[i].Dst < sorted[j].Dst
-	})
-	if dedup {
-		out := sorted[:0]
-		for i, e := range sorted {
-			if i > 0 && e == sorted[i-1] {
-				continue
-			}
-			out = append(out, e)
-		}
-		sorted = out
+	// Counting sort by source, then an independent destination sort per
+	// adjacency segment, parallel across vertex ranges. The result is the
+	// edges in (src, dst) order — the same canonical order the former
+	// comparison sort produced, so the CSR is bit-identical — without the
+	// O(m log m) global sort that dominates paper-scale graph builds.
+	counts := make([]uint64, numVertices+1)
+	for _, e := range edges {
+		counts[e.Src+1]++
 	}
+	for v := 0; v < numVertices; v++ {
+		counts[v+1] += counts[v]
+	}
+	tmp := make([]uint32, len(edges))
+	cursor := make([]uint64, numVertices)
+	copy(cursor, counts[:numVertices])
+	for _, e := range edges {
+		tmp[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	// cursor is reused below as the per-vertex deduped degree.
+	parallelOverVertices(numVertices, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			seg := tmp[counts[v]:counts[v+1]]
+			slices.Sort(seg)
+			n := len(seg)
+			if dedup && n > 1 {
+				n = 1
+				for i := 1; i < len(seg); i++ {
+					if seg[i] != seg[i-1] {
+						seg[n] = seg[i]
+						n++
+					}
+				}
+			}
+			cursor[v] = uint64(n)
+		}
+	})
 	g := &Graph{
 		Name:    name,
 		Offsets: make([]uint64, numVertices+1),
-		Edges:   make([]uint32, len(sorted)),
-	}
-	for i, e := range sorted {
-		g.Offsets[e.Src+1]++
-		g.Edges[i] = e.Dst
 	}
 	for v := 0; v < numVertices; v++ {
-		g.Offsets[v+1] += g.Offsets[v]
+		g.Offsets[v+1] = g.Offsets[v] + cursor[v]
 	}
+	g.Edges = make([]uint32, g.Offsets[numVertices])
+	parallelOverVertices(numVertices, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			copy(g.Edges[g.Offsets[v]:g.Offsets[v+1]], tmp[counts[v]:])
+		}
+	})
 	return g, nil
+}
+
+// parallelOverVertices splits [0, n) into one contiguous range per
+// available core and runs fn on each concurrently. The split affects
+// only scheduling, never results: callers touch disjoint state per
+// vertex.
+func parallelOverVertices(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Reverse returns the transpose of g (weights, if any, follow their

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"slices"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -307,6 +309,66 @@ func TestDegreeSumProperty(t *testing.T) {
 		}
 		if sum != g.NumEdges() {
 			t.Fatalf("degree sum %d != %d edges", sum, g.NumEdges())
+		}
+	}
+}
+
+// TestFromEdgesMatchesReferenceSort pins the parallel counting-sort CSR
+// build to the canonical order a global (src, dst) comparison sort
+// produces: the two must be bit-identical on seeded random edge lists
+// (duplicates included), with and without dedup. Every pre-existing
+// dataset's bytes depend on this equivalence.
+func TestFromEdgesMatchesReferenceSort(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for _, tc := range []struct {
+		n, m  int
+		dedup bool
+	}{
+		{1, 50, true}, {7, 0, true}, {64, 4096, true}, {64, 4096, false},
+		{1000, 20000, true}, {1000, 20000, false},
+	} {
+		edges := make([]Edge, tc.m)
+		for i := range edges {
+			// Small vertex space forces duplicate (src, dst) pairs.
+			edges[i] = Edge{uint32(rng.Intn(tc.n)), uint32(rng.Intn(tc.n))}
+		}
+		got, err := FromEdges("par", tc.n, edges, tc.dedup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: global comparison sort + linear dedup.
+		ref := make([]Edge, len(edges))
+		copy(ref, edges)
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Src != ref[j].Src {
+				return ref[i].Src < ref[j].Src
+			}
+			return ref[i].Dst < ref[j].Dst
+		})
+		if tc.dedup {
+			out := ref[:0]
+			for i, e := range ref {
+				if i > 0 && e == ref[i-1] {
+					continue
+				}
+				out = append(out, e)
+			}
+			ref = out
+		}
+		wantOffsets := make([]uint64, tc.n+1)
+		wantEdges := make([]uint32, len(ref))
+		for i, e := range ref {
+			wantOffsets[e.Src+1]++
+			wantEdges[i] = e.Dst
+		}
+		for v := 0; v < tc.n; v++ {
+			wantOffsets[v+1] += wantOffsets[v]
+		}
+		if !slices.Equal(got.Offsets, wantOffsets) {
+			t.Errorf("n=%d m=%d dedup=%t: offsets diverge from reference sort", tc.n, tc.m, tc.dedup)
+		}
+		if !slices.Equal(got.Edges, wantEdges) {
+			t.Errorf("n=%d m=%d dedup=%t: edges diverge from reference sort", tc.n, tc.m, tc.dedup)
 		}
 	}
 }

@@ -166,6 +166,49 @@ func (c *Cache) AccessSeq(line uint64) (hit, prevResident bool) {
 	return false, false
 }
 
+// AccessDirty is AccessHint fused with MarkDirty for the store path: the
+// line is looked up (or installed) exactly as AccessHint would, and its
+// entry is flagged dirty in the same walk — on a hit the hit entry, on a
+// miss the just-installed victim — saving the separate MarkDirty
+// traversal of the set. State, counters, and eviction callbacks are
+// bit-identical to AccessHint(line, streaming) followed by
+// MarkDirty(line).
+func (c *Cache) AccessDirty(line uint64, streaming bool) bool {
+	tag := line + 1
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	victim := set
+	oldest := ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.dirty[i] = true
+			c.hits++
+			return true
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	if c.tags[victim] != 0 && c.OnEvict != nil {
+		c.OnEvict(c.tags[victim]-1, c.dirty[victim])
+	}
+	c.tags[victim] = tag
+	c.dirty[victim] = true
+	if streaming {
+		stamp := oldest
+		if stamp > 0 {
+			stamp--
+		}
+		c.stamps[victim] = stamp
+	} else {
+		c.stamps[victim] = c.clock
+	}
+	c.misses++
+	return false
+}
+
 // AddHits credits n hits that a caller short-circuited without walking
 // the cache (the accessor's same-line fast path, which is only taken
 // when the line is known-resident), keeping Hits() truthful.
@@ -200,8 +243,29 @@ func (c *Cache) Contains(line uint64) bool {
 }
 
 // InvalidateRange drops every cached line in [loLine, hiLine). Migration
-// engines use this to model the cache effects of moving data.
+// engines use this to model the cache effects of moving data. Narrow
+// ranges (fewer lines than the cache has sets) probe each line's set
+// directly; wide ranges scan the tag array once — whichever touches
+// fewer entries.
 func (c *Cache) InvalidateRange(loLine, hiLine uint64) {
+	if hiLine <= loLine {
+		return
+	}
+	if sets := uint64(len(c.tags) / c.ways); hiLine-loLine < sets {
+		for line := loLine; line < hiLine; line++ {
+			tag := line + 1
+			set := int(line&c.setMask) * c.ways
+			for i := set; i < set+c.ways; i++ {
+				if c.tags[i] == tag {
+					c.tags[i] = 0
+					c.stamps[i] = 0
+					c.dirty[i] = false
+					break
+				}
+			}
+		}
+		return
+	}
 	for i, tag := range c.tags {
 		if tag == 0 {
 			continue

@@ -1,0 +1,369 @@
+package core
+
+// This file is the plan compiler: it turns the placement decisions a
+// governed run *committed* (never the ones it merely planned) into a
+// static, replayable migration DAG. The motivating observation is
+// Unimem's: phase-local placement decisions for a deterministic workload
+// can be made once and reused across repeated runs. The representation
+// follows the memgraph pattern from compiler-managed memory systems — a
+// DAG of move nodes with explicit region lifetimes and dependency edges —
+// so a replayer can execute the placement schedule without any profiling
+// or analysis, and a scheduler could in principle reorder independent
+// steps.
+//
+// A compiled plan is only valid for the exact workload it was recorded
+// from. The Signature captures everything the placement decision chain
+// depends on: the graph (name and content CRC), the kernel set, the
+// simulated thread count, the tier parameters, and every policy knob
+// that feeds the analyzer/governor. Replay must be armed with a
+// signature that matches strictly; anything else falls back to the
+// online loop (see PlanCache.Lookup).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Signature identifies the workload a compiled plan was recorded from.
+// Two runs with equal signatures make identical placement decisions, so
+// replaying the recorded schedule is sound; any field differing means
+// the decisions could diverge and the plan must not be used.
+type Signature struct {
+	// Graph names the dataset; GraphCRC fingerprints its content (CSR
+	// arrays), so a regenerated or relabelled graph under the same name
+	// invalidates the plan.
+	Graph    string
+	GraphCRC uint32
+	// Kernels is the ordered kernel set of the suite (comma-joined).
+	Kernels string
+	// Threads is the simulated thread count (placement interleaving and
+	// sample staggering depend on it).
+	Threads int
+	// Testbed fingerprints the tier parameters (capacities, latencies,
+	// line size) of the simulated machine.
+	Testbed string
+	// Policy fingerprints the placement knobs: policy, migration engine,
+	// analyzer ε and chunk config, sampling period mode.
+	Policy string
+	// Governor fingerprints the governor config (watermarks, hysteresis,
+	// breaker), which shapes demotion decisions.
+	Governor string
+}
+
+// Key returns the strict cache key: every field participates.
+func (s Signature) Key() string {
+	return fmt.Sprintf("%s|%08x|%s|%d|%s|%s|%s",
+		s.Graph, s.GraphCRC, s.Kernels, s.Threads, s.Testbed, s.Policy, s.Governor)
+}
+
+// workloadKey is the coarse identity — the workload a user would consider
+// "the same run" — used to tell a plain cache miss from a stale plan.
+func (s Signature) workloadKey() string {
+	return s.Graph + "|" + s.Kernels
+}
+
+// PlanStep is one node of the compiled migration DAG: promote or demote
+// a byte range at a given epoch. Deps lists the step IDs that must have
+// executed first — every earlier step whose range overlaps (the tier
+// state of the range depends on it), and, within an epoch, promotions
+// depend on that epoch's demotions (demote-before-promote is what frees
+// the budget the promotion consumes, mirroring migrate.Schedule).
+type PlanStep struct {
+	ID    int
+	Epoch int // 1-based recording epoch this step executes in
+	Base  uint64
+	Size  uint64
+	// Promote moves the range to the fast tier; false demotes it.
+	Promote bool
+	// Deps are IDs of steps that must precede this one.
+	Deps []int
+}
+
+// End returns the exclusive upper bound of the step's range.
+func (st PlanStep) End() uint64 { return st.Base + st.Size }
+
+// RegionLifetime is the fast-tier residency interval of one promoted
+// range: promoted at FromEpoch, demoted at ToEpoch (0 while still
+// resident when the recording ended — an open lifetime). Lifetimes are
+// the memgraph "alloc/free" view of the same DAG, and what lets a
+// capacity check validate the plan without executing it.
+type RegionLifetime struct {
+	Base      uint64
+	Size      uint64
+	FromEpoch int
+	ToEpoch   int // 0 = still resident at end of plan
+}
+
+// CompiledPlan is a recorded run's placement schedule: the step DAG in
+// execution order, region lifetimes, and the epoch count. Steps are
+// grouped by epoch for the replayer via EpochSteps.
+type CompiledPlan struct {
+	Sig       Signature
+	Steps     []PlanStep
+	Lifetimes []RegionLifetime
+	// Epochs is the number of recorded epochs (including ones that
+	// committed nothing).
+	Epochs int
+	// FinalFastBytes is the bytes fast-resident when recording ended,
+	// per the recorded schedule — the residency a faithful replay must
+	// reproduce.
+	FinalFastBytes uint64
+}
+
+// EpochSteps returns the steps of one epoch, demotions first — the order
+// RunSchedule would execute them — with intra-epoch dependencies already
+// encoded in Deps.
+func (p *CompiledPlan) EpochSteps(epoch int) (demotions, promotions []PlanStep) {
+	for _, st := range p.Steps {
+		if st.Epoch != epoch {
+			continue
+		}
+		if st.Promote {
+			promotions = append(promotions, st)
+		} else {
+			demotions = append(demotions, st)
+		}
+	}
+	return demotions, promotions
+}
+
+// PlanRecorder accumulates a governed run's committed placement
+// decisions epoch by epoch. The runtime calls RecordEpoch with exactly
+// the regions whose remap committed (rolled-back and skipped regions
+// never enter the plan — replaying a decision that did not happen would
+// desynchronize residency), then Compile after the last epoch.
+type PlanRecorder struct {
+	sig    Signature
+	epochs []epochRecord
+}
+
+type epochRecord struct {
+	demotions  []Range
+	promotions []Range
+}
+
+// NewPlanRecorder starts a recording for the given workload signature.
+func NewPlanRecorder(sig Signature) *PlanRecorder {
+	return &PlanRecorder{sig: sig}
+}
+
+// Signature returns the signature the recording is keyed under.
+func (r *PlanRecorder) Signature() Signature { return r.sig }
+
+// RecordEpoch appends one epoch's committed regions. Call once per
+// epoch, in order, including empty epochs (the replayer must keep epoch
+// numbering aligned with the body the caller runs).
+func (r *PlanRecorder) RecordEpoch(promoted, demoted []Range) {
+	rec := epochRecord{}
+	rec.promotions = append(rec.promotions, promoted...)
+	rec.demotions = append(rec.demotions, demoted...)
+	r.epochs = append(r.epochs, rec)
+}
+
+// Epochs returns how many epochs have been recorded.
+func (r *PlanRecorder) Epochs() int { return len(r.epochs) }
+
+// overlaps reports whether [aBase, aBase+aSize) intersects
+// [bBase, bBase+bSize).
+func overlaps(aBase, aSize, bBase, bSize uint64) bool {
+	return aBase < bBase+bSize && bBase < aBase+aSize
+}
+
+// Compile freezes the recording into a CompiledPlan: steps numbered in
+// execution order (epoch-major, demotions before promotions), dependency
+// edges from range overlap and intra-epoch ordering, and lifetimes
+// derived by matching each promotion with the demotion that later
+// covers its range.
+func (r *PlanRecorder) Compile() *CompiledPlan {
+	p := &CompiledPlan{Sig: r.sig, Epochs: len(r.epochs)}
+	addStep := func(epoch int, rg Range, promote bool, epochDemotes []int) {
+		st := PlanStep{
+			ID:      len(p.Steps),
+			Epoch:   epoch,
+			Base:    rg.Base,
+			Size:    rg.Size,
+			Promote: promote,
+		}
+		// Overlap edges against every earlier step: the range's tier
+		// state when this step runs is whatever the last overlapping
+		// step left it, so ordering between them is a true dependency.
+		for _, prev := range p.Steps {
+			if overlaps(prev.Base, prev.Size, st.Base, st.Size) {
+				st.Deps = append(st.Deps, prev.ID)
+			}
+		}
+		if promote {
+			// Budget edges: this epoch's demotions free the fast-tier
+			// bytes the promotion may need. Deduplicate against overlap
+			// edges already present.
+			have := make(map[int]bool, len(st.Deps))
+			for _, d := range st.Deps {
+				have[d] = true
+			}
+			for _, id := range epochDemotes {
+				if !have[id] {
+					st.Deps = append(st.Deps, id)
+				}
+			}
+			sort.Ints(st.Deps)
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	for i, rec := range r.epochs {
+		epoch := i + 1
+		var epochDemotes []int
+		for _, rg := range rec.demotions {
+			epochDemotes = append(epochDemotes, len(p.Steps))
+			addStep(epoch, rg, false, nil)
+		}
+		for _, rg := range rec.promotions {
+			addStep(epoch, rg, true, epochDemotes)
+		}
+	}
+	p.Lifetimes = compileLifetimes(p.Steps)
+	for _, lt := range p.Lifetimes {
+		if lt.ToEpoch == 0 {
+			p.FinalFastBytes += lt.Size
+		}
+	}
+	return p
+}
+
+// compileLifetimes walks the step list in execution order and maintains
+// the set of live (fast-resident) intervals: a promotion opens a
+// lifetime, a demotion closes the overlapping part of any live lifetime
+// (splitting it when the demotion covers only a middle slice).
+func compileLifetimes(steps []PlanStep) []RegionLifetime {
+	var done []RegionLifetime
+	var live []RegionLifetime
+	for _, st := range steps {
+		if st.Promote {
+			live = append(live, RegionLifetime{
+				Base: st.Base, Size: st.Size, FromEpoch: st.Epoch,
+			})
+			continue
+		}
+		var next []RegionLifetime
+		for _, lt := range live {
+			if !overlaps(lt.Base, lt.Size, st.Base, st.Size) {
+				next = append(next, lt)
+				continue
+			}
+			// Close the covered slice; keep any uncovered prefix/suffix
+			// live under the original FromEpoch.
+			cutLo, cutHi := st.Base, st.End()
+			if cutLo < lt.Base {
+				cutLo = lt.Base
+			}
+			if hi := lt.Base + lt.Size; cutHi > hi {
+				cutHi = hi
+			}
+			done = append(done, RegionLifetime{
+				Base: cutLo, Size: cutHi - cutLo,
+				FromEpoch: lt.FromEpoch, ToEpoch: st.Epoch,
+			})
+			if lt.Base < cutLo {
+				next = append(next, RegionLifetime{
+					Base: lt.Base, Size: cutLo - lt.Base, FromEpoch: lt.FromEpoch,
+				})
+			}
+			if hi := lt.Base + lt.Size; cutHi < hi {
+				next = append(next, RegionLifetime{
+					Base: cutHi, Size: hi - cutHi, FromEpoch: lt.FromEpoch,
+				})
+			}
+		}
+		live = next
+	}
+	done = append(done, live...)
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Base != done[j].Base {
+			return done[i].Base < done[j].Base
+		}
+		return done[i].FromEpoch < done[j].FromEpoch
+	})
+	return done
+}
+
+// LookupVerdict classifies a PlanCache lookup.
+type LookupVerdict int
+
+const (
+	// LookupHit: a plan recorded under the exact signature exists.
+	LookupHit LookupVerdict = iota
+	// LookupMiss: no plan for this workload at all.
+	LookupMiss
+	// LookupStale: a plan for the same workload (graph name + kernels)
+	// exists, but a strict signature field differs — the cached schedule
+	// was recorded under assumptions that no longer hold. Replaying it
+	// would apply placement decisions from a different decision chain,
+	// so the caller MUST fall back to the online loop; the verdict
+	// exists so the fallback is observable, never silent.
+	LookupStale
+)
+
+func (v LookupVerdict) String() string {
+	switch v {
+	case LookupHit:
+		return "hit"
+	case LookupMiss:
+		return "miss"
+	case LookupStale:
+		return "stale"
+	}
+	return fmt.Sprintf("LookupVerdict(%d)", int(v))
+}
+
+// PlanCache holds compiled plans keyed by strict signature, with a
+// coarse workload index so lookups can distinguish "never recorded"
+// from "recorded under different assumptions". Safe for concurrent use.
+type PlanCache struct {
+	mu       sync.Mutex
+	plans    map[string]*CompiledPlan
+	workload map[string][]string // workloadKey -> strict keys present
+}
+
+// NewPlanCache builds an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{
+		plans:    make(map[string]*CompiledPlan),
+		workload: make(map[string][]string),
+	}
+}
+
+// Put stores a compiled plan under its signature, replacing any previous
+// plan with the identical strict key.
+func (c *PlanCache) Put(p *CompiledPlan) {
+	key := p.Sig.Key()
+	wk := p.Sig.workloadKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.plans[key]; !exists {
+		c.workload[wk] = append(c.workload[wk], key)
+	}
+	c.plans[key] = p
+}
+
+// Lookup resolves a signature: LookupHit returns the plan; LookupMiss
+// and LookupStale return nil, and the difference is the caller's
+// fallback telemetry — a stale verdict means a plan for this workload
+// exists but must not be replayed (see LookupStale).
+func (c *PlanCache) Lookup(sig Signature) (*CompiledPlan, LookupVerdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.plans[sig.Key()]; ok {
+		return p, LookupHit
+	}
+	if len(c.workload[sig.workloadKey()]) > 0 {
+		return nil, LookupStale
+	}
+	return nil, LookupMiss
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
+}

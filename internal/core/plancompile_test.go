@@ -1,0 +1,163 @@
+package core
+
+import "testing"
+
+func sigFixture() Signature {
+	return Signature{
+		Graph:    "rmat20",
+		GraphCRC: 0xdeadbeef,
+		Kernels:  "bfs,pr",
+		Threads:  8,
+		Testbed:  "nvm-dram",
+		Policy:   "policy=atmem",
+		Governor: "hw=0.9",
+	}
+}
+
+func TestCompileStepsAndDeps(t *testing.T) {
+	r := NewPlanRecorder(sigFixture())
+	// Epoch 1: promote two disjoint ranges.
+	r.RecordEpoch([]Range{{Base: 0x1000, Size: 0x1000}, {Base: 0x4000, Size: 0x2000}}, nil)
+	// Epoch 2: demote part of the first, promote a third range.
+	r.RecordEpoch([]Range{{Base: 0x8000, Size: 0x1000}}, []Range{{Base: 0x1000, Size: 0x1000}})
+	p := r.Compile()
+
+	if p.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2", p.Epochs)
+	}
+	if len(p.Steps) != 4 {
+		t.Fatalf("Steps = %d, want 4", len(p.Steps))
+	}
+	// Execution order: epoch-major, demotions before promotions.
+	want := []struct {
+		epoch   int
+		base    uint64
+		promote bool
+	}{
+		{1, 0x1000, true},
+		{1, 0x4000, true},
+		{2, 0x1000, false},
+		{2, 0x8000, true},
+	}
+	for i, w := range want {
+		st := p.Steps[i]
+		if st.ID != i || st.Epoch != w.epoch || st.Base != w.base || st.Promote != w.promote {
+			t.Errorf("step %d = %+v, want epoch %d base %#x promote %t", i, st, w.epoch, w.base, w.promote)
+		}
+	}
+	// The epoch-2 demotion overlaps the epoch-1 promotion of the same
+	// range: a dependency edge.
+	if got := p.Steps[2].Deps; len(got) != 1 || got[0] != 0 {
+		t.Errorf("demotion deps = %v, want [0]", got)
+	}
+	// The epoch-2 promotion overlaps nothing, but depends on its epoch's
+	// demotion (demote-before-promote funds the budget).
+	if got := p.Steps[3].Deps; len(got) != 1 || got[0] != 2 {
+		t.Errorf("promotion deps = %v, want [2]", got)
+	}
+	// Disjoint epoch-1 promotions are independent.
+	if len(p.Steps[0].Deps) != 0 || len(p.Steps[1].Deps) != 0 {
+		t.Errorf("epoch-1 steps must have no deps, got %v / %v", p.Steps[0].Deps, p.Steps[1].Deps)
+	}
+}
+
+func TestCompileLifetimes(t *testing.T) {
+	r := NewPlanRecorder(sigFixture())
+	r.RecordEpoch([]Range{{Base: 0x0, Size: 0x3000}}, nil)
+	// Epoch 2 demotes the middle page: the lifetime splits.
+	r.RecordEpoch(nil, []Range{{Base: 0x1000, Size: 0x1000}})
+	p := r.Compile()
+
+	if len(p.Lifetimes) != 3 {
+		t.Fatalf("lifetimes = %+v, want 3 intervals", p.Lifetimes)
+	}
+	byBase := map[uint64]RegionLifetime{}
+	for _, lt := range p.Lifetimes {
+		byBase[lt.Base] = lt
+	}
+	if lt := byBase[0x0]; lt.Size != 0x1000 || lt.FromEpoch != 1 || lt.ToEpoch != 0 {
+		t.Errorf("prefix lifetime = %+v, want open [1,-)", lt)
+	}
+	if lt := byBase[0x1000]; lt.Size != 0x1000 || lt.FromEpoch != 1 || lt.ToEpoch != 2 {
+		t.Errorf("middle lifetime = %+v, want closed [1,2]", lt)
+	}
+	if lt := byBase[0x2000]; lt.Size != 0x1000 || lt.FromEpoch != 1 || lt.ToEpoch != 0 {
+		t.Errorf("suffix lifetime = %+v, want open [1,-)", lt)
+	}
+	// Final fast residency = the two still-open pages.
+	if p.FinalFastBytes != 0x2000 {
+		t.Errorf("FinalFastBytes = %#x, want 0x2000", p.FinalFastBytes)
+	}
+}
+
+func TestCompileEmptyEpochsKeepNumbering(t *testing.T) {
+	r := NewPlanRecorder(sigFixture())
+	r.RecordEpoch(nil, nil)
+	r.RecordEpoch([]Range{{Base: 0x1000, Size: 0x1000}}, nil)
+	p := r.Compile()
+	if p.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2 (empty epochs count)", p.Epochs)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Epoch != 2 {
+		t.Fatalf("steps = %+v, want one step at epoch 2", p.Steps)
+	}
+	d1, p1 := p.EpochSteps(1)
+	if len(d1) != 0 || len(p1) != 0 {
+		t.Errorf("epoch 1 must be empty, got %v / %v", d1, p1)
+	}
+	d2, p2 := p.EpochSteps(2)
+	if len(d2) != 0 || len(p2) != 1 {
+		t.Errorf("epoch 2 = %v / %v, want one promotion", d2, p2)
+	}
+}
+
+func TestPlanCacheVerdicts(t *testing.T) {
+	c := NewPlanCache()
+	sig := sigFixture()
+
+	if p, v := c.Lookup(sig); p != nil || v != LookupMiss {
+		t.Fatalf("empty cache lookup = (%v, %v), want (nil, miss)", p, v)
+	}
+
+	rec := NewPlanRecorder(sig)
+	rec.RecordEpoch([]Range{{Base: 0x1000, Size: 0x1000}}, nil)
+	c.Put(rec.Compile())
+
+	if p, v := c.Lookup(sig); p == nil || v != LookupHit {
+		t.Fatalf("exact lookup = (%v, %v), want hit", p, v)
+	}
+
+	// Same workload (graph + kernels), any strict field differing: stale,
+	// and no plan is returned — the caller must go online.
+	stale := []Signature{sig, sig, sig, sig}
+	stale[0].GraphCRC++
+	stale[1].Threads = 16
+	stale[2].Policy = "policy=baseline"
+	stale[3].Governor = "hw=0.8"
+	for i, s := range stale {
+		if p, v := c.Lookup(s); p != nil || v != LookupStale {
+			t.Errorf("stale case %d: lookup = (%v, %v), want (nil, stale)", i, p, v)
+		}
+	}
+
+	// A different workload entirely is a plain miss.
+	other := sig
+	other.Graph = "urand20"
+	if p, v := c.Lookup(other); p != nil || v != LookupMiss {
+		t.Errorf("other-workload lookup = (%v, %v), want (nil, miss)", p, v)
+	}
+
+	if c.Len() != 1 {
+		t.Errorf("cache Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLookupVerdictString(t *testing.T) {
+	for v, want := range map[LookupVerdict]string{
+		LookupHit: "hit", LookupMiss: "miss", LookupStale: "stale",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), got, want)
+		}
+	}
+}

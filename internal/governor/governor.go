@@ -70,6 +70,15 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// Fingerprint serializes every tunable into a stable string, for
+// compiled-plan workload signatures (internal/core): any knob change
+// alters demotion decisions, so it must invalidate cached plans.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("hw=%g lw=%g demote=%d thresh=%d cool=%d max=%d",
+		c.HighWatermark, c.LowWatermark, c.DemoteAfterEpochs,
+		c.BreakerThreshold, c.BreakerCooldown, c.MaxCooldown)
+}
+
 // Validate reports configuration errors (call after WithDefaults).
 func (c Config) Validate() error {
 	if c.HighWatermark <= 0 || c.HighWatermark > 1 {

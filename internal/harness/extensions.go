@@ -27,9 +27,11 @@ func ExtensionExperiments() []Experiment {
 	}
 }
 
-// AllExperiments returns paper artifacts followed by the extensions.
+// AllExperiments returns paper artifacts followed by the extensions and
+// the paper-scale experiments.
 func AllExperiments() []Experiment {
-	return append(Experiments(), ExtensionExperiments()...)
+	all := append(Experiments(), ExtensionExperiments()...)
+	return append(all, ScaleExperiments()...)
 }
 
 // accuracy compares the default adaptive-period profile against an

@@ -30,10 +30,21 @@ type Accessor struct {
 	tlb4k *TLB
 	tlb2m *TLB
 
-	// shootSeen is the shootdown-log generation this accessor has
-	// applied; trailing the system generation means pending TLB/cache
-	// invalidations to replay before the next translation is trusted.
-	shootSeen uint64
+	// syncSeen caches the last system sync word this accessor acted on,
+	// always with a zero gate field: matching the live word means no
+	// shootdown has been published since the last drain AND no quiesce
+	// gate is installed, so the whole cross-thread protocol collapses to
+	// one atomic load per Load/Store call. The low bits double as the
+	// shootdown-log generation this accessor has applied.
+	syncSeen uint64
+
+	// sealed declares a phase-stability contract: no concurrent
+	// migration (shootdown publish or quiesce gate) can occur until the
+	// accessor is unsealed, so the access path skips even the one-load
+	// sync check. The runtime seals accessors for phases that run with
+	// no background placement worker; direct users leave it false and
+	// get the full protocol.
+	sealed bool
 
 	// l1 is a small set-associative first-level filter; hits cost
 	// almost nothing and never reach the LLC model.
@@ -179,49 +190,79 @@ func (a *Accessor) StoreRange(addr uint64, elemSize uint32, count int) {
 	a.accessRange(addr, elemSize, count, true)
 }
 
-// drainShootdowns applies every shootdown-log range published since this
+// syncCheck is the per-call cross-thread protocol: one atomic load of
+// the system sync word covers both the shootdown-log drain (any
+// generation advance since the last drain) and the store quiesce barrier
+// (any installed gate). The fast path — word unchanged, gate field
+// zero — is the overwhelmingly common case and branches straight back to
+// the caller; syncSlow handles the rest.
+func (a *Accessor) syncCheck(addr uint64, write bool) {
+	if w := a.sys.sync.Load(); w != a.syncSeen {
+		a.syncSlow(w, addr, write)
+	}
+}
+
+// syncSlow drains newly published shootdowns and, for stores, waits out
+// any quiesce gate covering addr. It records syncSeen with a zero gate
+// field, so every access while gates are installed re-enters this slow
+// path — exactly the window in which stores must keep checking.
+func (a *Accessor) syncSlow(w, addr uint64, write bool) {
+	if gen := w & syncGenMask; gen != a.syncSeen {
+		a.applyShootdowns()
+	}
+	if write && w>>syncGenBits != 0 {
+		if waited := a.sys.quiesceWait(addr); waited > 0 {
+			a.QuiesceStalls += uint64(waited)
+			a.Cycles += float64(waited) * a.quiesceStallCycles
+			// The gate lifted because a remap committed; pick up its
+			// shootdown before translating.
+			a.applyShootdowns()
+		}
+	}
+}
+
+// applyShootdowns applies every shootdown-log range published since this
 // accessor last drained: cached translations and cache lines of each
 // range are dropped, exactly as the stop-the-world invalidation broadcast
-// would have done at the phase barrier. The fast path (generation
-// unchanged) is one atomic load.
-func (a *Accessor) drainShootdowns() {
-	if a.sys.shootGen.Load() == a.shootSeen {
-		return
-	}
-	ranges, gen := a.sys.shootdownsSince(a.shootSeen)
+// would have done at the phase barrier.
+func (a *Accessor) applyShootdowns() {
+	ranges, gen := a.sys.shootdownsSince(a.syncSeen & syncGenMask)
 	for _, r := range ranges {
 		a.InvalidateTLBRange(r.Base, r.Size)
 		a.InvalidateCacheRange(r.Base, r.Size)
 		a.ShootdownsApplied++
 	}
-	a.shootSeen = gen
+	a.syncSeen = gen
 }
 
 // DrainShootdowns applies pending shootdowns immediately — the runtime
 // calls it at phase boundaries so an idle thread does not carry stale
 // translations into the next phase.
-func (a *Accessor) DrainShootdowns() { a.drainShootdowns() }
-
-// writeBarrier blocks a store to addr while a quiesce gate covers it,
-// charging one stall per waited gate. No-op (one atomic load) when no
-// migration is remapping.
-func (a *Accessor) writeBarrier(addr uint64) {
-	if a.sys.quiesceN.Load() == 0 {
-		return
-	}
-	if waited := a.sys.quiesceWait(addr); waited > 0 {
-		a.QuiesceStalls += uint64(waited)
-		a.Cycles += float64(waited) * a.quiesceStallCycles
-		// The gate lifted because a remap committed; pick up its
-		// shootdown before translating.
-		a.drainShootdowns()
+func (a *Accessor) DrainShootdowns() {
+	if a.sys.sync.Load()&syncGenMask != a.syncSeen&syncGenMask {
+		a.applyShootdowns()
 	}
 }
 
+// SetSealed toggles the phase-stability contract: while sealed, the
+// accessor trusts that no shootdown will be published and no quiesce
+// gate installed, and skips the per-access sync check entirely — the
+// cross-thread protocol costs literally zero loads. Sealing drains any
+// already-pending shootdowns first, so the accessor enters the sealed
+// window with clean translations. The caller (the runtime's RunPhase)
+// guarantees stability by only sealing phases that run with no
+// background placement worker; sealing during concurrent migration
+// would let accessors run on stale translations.
+func (a *Accessor) SetSealed(sealed bool) {
+	if sealed {
+		a.DrainShootdowns()
+	}
+	a.sealed = sealed
+}
+
 func (a *Accessor) access(addr uint64, size uint32, write bool) {
-	a.drainShootdowns()
-	if write {
-		a.writeBarrier(addr)
+	if !a.sealed {
+		a.syncCheck(addr, write)
 	}
 	a.Accesses++
 	line := addr >> a.lineShift
@@ -245,9 +286,13 @@ func (a *Accessor) accessRange(addr uint64, elemSize uint32, count int, write bo
 	if count <= 0 {
 		return
 	}
-	a.drainShootdowns()
-	if write {
-		a.writeBarrier(addr)
+	// One sync check covers the whole range: the reference path checks
+	// per element, but all checks after the first are no-ops unless a
+	// migration intervenes mid-range, which the unsealed contract already
+	// tolerates at the next call (stale translations are bounded by one
+	// bulk call, same as one store's gate window).
+	if !a.sealed {
+		a.syncCheck(addr, write)
 	}
 	es := uint64(elemSize)
 	if es == 0 {
@@ -335,16 +380,19 @@ func (a *Accessor) accessLine(line uint64, write bool) {
 	// miss rarely lands one line past recently-touched data. The LLC
 	// uses it for stream-resistant insertion and the cost model applies
 	// prefetch coverage below.
-	if a.llc.AccessHint(line, sequential) {
+	// Stores go through the fused dirty probe: one set walk both looks
+	// the line up (or installs it) and flags the entry dirty, replacing
+	// the AccessHint + MarkDirty pair with identical state and counters.
+	var llcHit bool
+	if write {
+		llcHit = a.llc.AccessDirty(line, sequential)
+	} else {
+		llcHit = a.llc.AccessHint(line, sequential)
+	}
+	if llcHit {
 		a.LLCHits++
 		a.Cycles += a.llcHitCycles
-		if write {
-			a.llc.MarkDirty(line)
-		}
 		return
-	}
-	if write {
-		a.llc.MarkDirty(line)
 	}
 	addr := line << a.lineShift
 	pi, retries := a.sys.pt.TranslateStable(addr)

@@ -278,3 +278,88 @@ func TestSameLineRegisterSkipsCacheWalk(t *testing.T) {
 		t.Errorf("Accesses = %d, want 9", a.Accesses)
 	}
 }
+
+// TestSealedEquivalence proves the sealed fast path is free: with no
+// concurrent migration, a sealed accessor must produce bit-identical
+// counters, cycles, and PhaseStats to an unsealed one over the same
+// workload — sealing only removes the sync-word check, never simulation
+// state.
+func TestSealedEquivalence(t *testing.T) {
+	_, _, _, _, fb, sb := equivFixture(t)
+	rng := rand.New(rand.NewSource(99))
+	var ops []rangeOp
+	span := uint64(1*MiB - 64*KiB)
+	for i := 0; i < 4096; i++ {
+		base := fb
+		if rng.Intn(2) == 0 {
+			base = sb
+		}
+		ops = append(ops, rangeOp{
+			addr:     base + uint64(rng.Int63())%span,
+			elemSize: uint32(1 + rng.Intn(16)),
+			count:    1 + rng.Intn(64),
+			write:    rng.Intn(3) == 0,
+		})
+	}
+	sysRef, sysFast, ref, sealed, _, _ := equivFixture(t)
+	sealed.SetSealed(true)
+	runBulk(ref, ops)
+	runBulk(sealed, ops)
+	sealed.SetSealed(false)
+	compareAccessors(t, ref, sealed, sysRef, sysFast)
+}
+
+// TestSealedAppliesPendingShootdownsOnSeal pins the seal-entry contract:
+// a shootdown published before sealing is applied by SetSealed(true)
+// itself, so the sealed window never runs on stale translations.
+func TestSealedAppliesPendingShootdownsOnSeal(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(1*MiB, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.NewAccessor()
+	a.Load(base, 8)
+	s.Shootdown(base, 64*KiB)
+	a.SetSealed(true)
+	if a.ShootdownsApplied != 1 {
+		t.Fatalf("ShootdownsApplied = %d, want 1 (seal must drain)", a.ShootdownsApplied)
+	}
+	// Sealed accesses must not observe anything published afterwards…
+	s.Shootdown(base, 64*KiB)
+	a.Load(base, 8)
+	if a.ShootdownsApplied != 1 {
+		t.Fatalf("sealed access drained the log (applied=%d)", a.ShootdownsApplied)
+	}
+	// …until unsealed, when the next access picks it up.
+	a.SetSealed(false)
+	a.Load(base+128, 8)
+	if a.ShootdownsApplied != 2 {
+		t.Fatalf("unsealed access did not drain (applied=%d)", a.ShootdownsApplied)
+	}
+}
+
+// TestSyncWordHoisting verifies the once-per-range sync check of the bulk
+// path observes a shootdown at the range boundary exactly like the
+// element path does at its first element: a log published between two
+// bulk calls lands before the second call's first access in both paths,
+// keeping PhaseStats bit-identical.
+func TestSyncWordHoisting(t *testing.T) {
+	sysRef, sysFast, ref, fast, fb, _ := equivFixture(t)
+	pre := []rangeOp{{addr: fb, elemSize: 8, count: 8192, write: true}}
+	runElementwise(ref, pre)
+	runBulk(fast, pre)
+	sysRef.Shootdown(fb, 128*KiB)
+	sysFast.Shootdown(fb, 128*KiB)
+	post := []rangeOp{
+		{addr: fb, elemSize: 8, count: 4096, write: false},
+		{addr: fb + 256*KiB, elemSize: 8, count: 1024, write: true},
+	}
+	runElementwise(ref, post)
+	runBulk(fast, post)
+	compareAccessors(t, ref, fast, sysRef, sysFast)
+	if ref.ShootdownsApplied != 1 || fast.ShootdownsApplied != 1 {
+		t.Fatalf("ShootdownsApplied: ref %d fast %d, want 1/1",
+			ref.ShootdownsApplied, fast.ShootdownsApplied)
+	}
+}

@@ -56,20 +56,39 @@ type System struct {
 	faults   FaultHook
 
 	// Shootdown log: every committed remap appends its range and bumps
-	// shootGen, so an accessor whose seen-generation trails can replay
-	// exactly the ranges it missed. Appends happen under shootMu; the
-	// generation is atomic so the accessor fast path (gen unchanged →
-	// nothing to drain) stays lock-free.
+	// the sync word's generation field, so an accessor whose
+	// seen-generation trails can replay exactly the ranges it missed.
+	// Appends happen under shootMu; the generation is atomic so the
+	// accessor fast path (gen unchanged → nothing to drain) stays
+	// lock-free.
 	shootMu  sync.Mutex
 	shootLog []ShootdownRange
-	shootGen atomic.Uint64
+
+	// sync packs the two cross-thread signals the access fast path must
+	// observe — the shootdown-log generation (low 48 bits) and the count
+	// of active quiesce gates (high 16 bits) — into one word, so the
+	// per-access check is a single uncontended atomic load instead of
+	// two. An accessor caches the last word it acted on; an unchanged
+	// word with a zero gate field means there is nothing to drain and no
+	// store can be gated (see Accessor.syncCheck).
+	sync atomic.Uint64
 
 	// Quiesce gates: writers to a gated range block until the gate
-	// lifts. quiesceN is the lock-free fast path (no gates → no check).
+	// lifts. The sync word's gate count is the lock-free fast path (no
+	// gates → no check).
 	quiesceMu sync.Mutex
-	quiesceN  atomic.Int32
 	gates     []*QuiesceGate
 }
+
+// sync word layout: shootdown generation in the low syncGenBits bits,
+// quiesce-gate count above. 48 bits of generation cannot wrap in any
+// feasible run (one remap per published range), and 16 bits of gates far
+// exceeds the engines' bounded staging concurrency.
+const (
+	syncGenBits = 48
+	syncGenMask = uint64(1)<<syncGenBits - 1
+	syncGateOne = uint64(1) << syncGenBits
+)
 
 // NewSystem builds a System from params. It panics if params are invalid,
 // since every preset in this module must validate.
@@ -486,18 +505,18 @@ func (s *System) Shootdown(base, size uint64) {
 	s.shootLog = append(s.shootLog, ShootdownRange{Base: base, Size: size})
 	// Bump inside the lock so log length == generation always holds for
 	// a drainer that reads the generation first.
-	s.shootGen.Add(1)
+	s.sync.Add(1)
 	s.shootMu.Unlock()
 }
 
 // ShootdownGen returns the current shootdown generation — the total
 // number of ranges ever published. Lock-free.
-func (s *System) ShootdownGen() uint64 { return s.shootGen.Load() }
+func (s *System) ShootdownGen() uint64 { return s.sync.Load() & syncGenMask }
 
 // shootdownsSince returns the log entries after generation seen, along
 // with the new generation. The log only grows, so the copy is stable.
 func (s *System) shootdownsSince(seen uint64) ([]ShootdownRange, uint64) {
-	gen := s.shootGen.Load()
+	gen := s.sync.Load() & syncGenMask
 	if gen == seen {
 		return nil, seen
 	}
@@ -526,7 +545,7 @@ func (s *System) QuiesceBegin(base, size uint64) *QuiesceGate {
 	s.quiesceMu.Lock()
 	s.gates = append(s.gates, g)
 	s.quiesceMu.Unlock()
-	s.quiesceN.Add(1)
+	s.sync.Add(syncGateOne)
 	return g
 }
 
@@ -542,16 +561,16 @@ func (s *System) QuiesceEnd(g *QuiesceGate) {
 	s.quiesceMu.Unlock()
 	// Drop the fast-path count before closing so a writer re-scanning
 	// the gate list cannot find the gate again after waking.
-	s.quiesceN.Add(-1)
+	s.sync.Add(^(syncGateOne - 1))
 	close(g.done)
 }
 
 // quiesceWait blocks until no installed gate covers addr, returning how
-// many gates the caller waited out. The quiesceN fast path keeps the
+// many gates the caller waited out. The sync word's gate field keeps the
 // no-migration case a single atomic load.
 func (s *System) quiesceWait(addr uint64) int {
 	waited := 0
-	for s.quiesceN.Load() > 0 {
+	for s.sync.Load()>>syncGenBits > 0 {
 		var blocking *QuiesceGate
 		s.quiesceMu.Lock()
 		for _, g := range s.gates {

@@ -109,11 +109,22 @@ func (p *Profiler) SetPeriod(period uint64) {
 	}
 }
 
+// setEnabled pushes the collection switch into every thread sampler, so
+// the per-miss check reads a sampler-local field instead of chasing the
+// shared Profiler — with many host cores the shared read would put one
+// cache line in every thread's per-miss path.
+func (p *Profiler) setEnabled(on bool) {
+	p.enabled = on
+	for _, ts := range p.threads {
+		ts.enabled = on
+	}
+}
+
 // Start enables sample collection.
-func (p *Profiler) Start() { p.enabled = true }
+func (p *Profiler) Start() { p.setEnabled(true) }
 
 // Stop disables sample collection.
-func (p *Profiler) Stop() { p.enabled = false }
+func (p *Profiler) Stop() { p.setEnabled(false) }
 
 // Enabled reports whether the profiler is collecting.
 func (p *Profiler) Enabled() bool { return p.enabled }
@@ -131,9 +142,10 @@ func (p *Profiler) ThreadSampler(i int) *ThreadSampler {
 			countdown = p.cfg.Period*uint64(tid)/uint64(tid+1) + 1
 		}
 		p.threads = append(p.threads, &ThreadSampler{
-			prof:      p,
+			enabled:   p.enabled,
 			period:    p.cfg.Period,
 			countdown: countdown,
+			overhead:  p.overheadCycles,
 		})
 	}
 	return p.threads[i]
@@ -170,18 +182,28 @@ func (p *Profiler) Reset() {
 }
 
 // ThreadSampler captures every period-th qualifying event of one thread.
+// Everything OnMiss touches — the enabled switch, the countdown, the
+// sample buffer — is sampler-local: the only cross-thread interaction is
+// Start/Stop/SetPeriod pushing new values between phases. The trailing
+// pad keeps two samplers (small heap objects that the allocator may
+// place adjacently) from sharing a cache line, since countdown is
+// written on every miss of every thread.
 type ThreadSampler struct {
-	prof      *Profiler
+	enabled   bool
 	period    uint64
 	countdown uint64
+	overhead  float64
 	buf       []Sample
+	_         [64]byte // false-sharing pad
 }
 
 // OnMiss is the memsim.MissHook body: it observes one LLC miss and returns
 // the cycles of profiling overhead to charge (zero unless a sample was
-// captured).
+// captured). Samples accumulate in the sampler's private buffer and are
+// only merged at ProfilingStop — per-shard batch emission, never a
+// cross-thread append.
 func (ts *ThreadSampler) OnMiss(addr uint64, write bool) float64 {
-	if !ts.prof.enabled {
+	if !ts.enabled {
 		return 0
 	}
 	ts.countdown--
@@ -190,7 +212,7 @@ func (ts *ThreadSampler) OnMiss(addr uint64, write bool) float64 {
 	}
 	ts.countdown = ts.period
 	ts.buf = append(ts.buf, Sample{Addr: addr, Write: write})
-	return ts.prof.overheadCycles
+	return ts.overhead
 }
 
 // Captured returns the samples captured by this thread so far.

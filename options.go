@@ -109,6 +109,14 @@ func WithAsyncPlacement(a AsyncOptions) Option {
 	}
 }
 
+// WithPlanCache attaches a compiled-plan cache, enabling record/replay
+// of governed placement schedules (see Options.PlanCache and
+// Runtime.ArmPlan). Pass the same cache to every runtime that should
+// share recorded plans.
+func WithPlanCache(pc *core.PlanCache) Option {
+	return func(o *Options) { o.PlanCache = pc }
+}
+
 // WithOptions merges a whole Options struct, for callers migrating from
 // the deprecated NewRuntime signature one step at a time.
 func WithOptions(full Options) Option {

@@ -1,0 +1,244 @@
+package atmem
+
+import (
+	"testing"
+
+	"atmem/internal/core"
+	"atmem/internal/memsim"
+)
+
+// replayFixture builds a governed runtime wired to the given plan cache,
+// with the hot/cold array pair the governor tests use. Allocation is
+// deterministic, so two identically-built fixtures place their objects
+// at identical addresses — the property that makes recorded absolute
+// ranges replayable.
+func replayFixture(t *testing.T, pc *core.PlanCache, opts ...Option) (*Runtime, *Array[uint64]) {
+	t.Helper()
+	all := append([]Option{
+		WithPolicy(PolicyATMem),
+		WithSamplePeriod(64),
+		WithGovernor(GovernorOptions{}),
+		WithPlanCache(pc),
+	}, opts...)
+	rt, err := New(NVMDRAM(), all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewArray[uint64](rt, "hot", 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewArray[uint64](rt, "cold", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	fillDeterministic(hot, 7)
+	return rt, hot
+}
+
+// tierLayout snapshots every registered object's per-tier byte split —
+// the ground truth a replay must reproduce bit for bit.
+func tierLayout(rt *Runtime) map[string][memsim.NumTiers]uint64 {
+	out := make(map[string][memsim.NumTiers]uint64)
+	for _, o := range rt.Objects() {
+		out[o.Name()] = rt.System().BytesOnTier(o.Base(), o.Size())
+	}
+	return out
+}
+
+// TestPlanRecordReplayEquivalence is the end-to-end contract: a governed
+// run records its placement decisions, and a second identically-shaped
+// run replays them — zero profiling, zero analysis — landing on the
+// identical final tier layout and residency.
+func TestPlanRecordReplayEquivalence(t *testing.T) {
+	pc := core.NewPlanCache()
+	const epochs = 3
+
+	rec, hot := replayFixture(t, pc)
+	sig := rec.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if v, err := rec.ArmPlan(sig); err != nil || v != core.LookupMiss {
+		t.Fatalf("first ArmPlan = (%v, %v), want miss", v, err)
+	}
+	if rec.Replaying() {
+		t.Fatal("recording run claims to be replaying")
+	}
+	for e := 0; e < epochs; e++ {
+		rep := epochOn(t, rec, "e", hot)
+		if rep.Replayed {
+			t.Fatalf("recording epoch %d marked Replayed", e+1)
+		}
+	}
+	plan, err := rec.FinishPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Epochs != epochs {
+		t.Fatalf("plan recorded %d epochs, want %d", plan.Epochs, epochs)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("plan recorded no steps (first epoch must promote)")
+	}
+	wantLayout := tierLayout(rec)
+	wantResident := rec.ResidentBytes()
+	if plan.FinalFastBytes != wantResident {
+		t.Errorf("plan FinalFastBytes %d != recorded residency %d", plan.FinalFastBytes, wantResident)
+	}
+
+	rep, hot2 := replayFixture(t, pc)
+	sig2 := rep.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if sig2.Key() != sig.Key() {
+		t.Fatalf("identical fixtures produced different signatures:\n%s\n%s", sig.Key(), sig2.Key())
+	}
+	if v, err := rep.ArmPlan(sig2); err != nil || v != core.LookupHit {
+		t.Fatalf("second ArmPlan = (%v, %v), want hit", v, err)
+	}
+	if !rep.Replaying() {
+		t.Fatal("replay run not in replay mode after a hit")
+	}
+	for e := 0; e < epochs; e++ {
+		er, err := rep.RunEpoch("e", func() { scanPhase(rep, "e", hot2) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !er.Replayed {
+			t.Fatalf("replay epoch %d not marked Replayed", e+1)
+		}
+		if er.Samples != 0 {
+			t.Fatalf("replay epoch %d attributed %d samples, want 0 (profiling off)", e+1, er.Samples)
+		}
+	}
+	if got := rep.SampleCount(); got != 0 {
+		t.Errorf("replay run captured %d profiler samples, want 0", got)
+	}
+	if _, err := rep.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := rep.ResidentBytes(); got != wantResident {
+		t.Errorf("replay residency %d != recorded %d", got, wantResident)
+	}
+	gotLayout := tierLayout(rep)
+	for name, want := range wantLayout {
+		if gotLayout[name] != want {
+			t.Errorf("object %q tier layout %v != recorded %v", name, gotLayout[name], want)
+		}
+	}
+	assertDataIntact(t, "replayed hot", hot2, 7)
+	if err := rep.System().CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanStaleFallsBackOnline is the invalidation contract (a stale
+// plan must never be replayed silently): any strict signature field
+// differing — graph content, thread count, a policy knob — yields
+// LookupStale, leaves the runtime in the online loop, and the epochs
+// profile and optimize normally.
+func TestPlanStaleFallsBackOnline(t *testing.T) {
+	pc := core.NewPlanCache()
+
+	rec, hot := replayFixture(t, pc)
+	sig := rec.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if _, err := rec.ArmPlan(sig); err != nil {
+		t.Fatal(err)
+	}
+	epochOn(t, rec, "e1", hot)
+	if _, err := rec.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		opts []Option
+		// mutate derives the lookup signature the run arms with.
+		mutate func(*Runtime) core.Signature
+	}{
+		{"graph-crc", nil, func(rt *Runtime) core.Signature {
+			return rt.BuildSignature("synthetic", 0x9999, []string{"scan"})
+		}},
+		{"thread-count", []Option{WithThreads(4)}, func(rt *Runtime) core.Signature {
+			return rt.BuildSignature("synthetic", 0x1234, []string{"scan"})
+		}},
+		{"policy-knob", []Option{WithSamplePeriod(128)}, func(rt *Runtime) core.Signature {
+			return rt.BuildSignature("synthetic", 0x1234, []string{"scan"})
+		}},
+		{"governor-knob", []Option{WithGovernor(GovernorOptions{DemoteAfterEpochs: 5})}, func(rt *Runtime) core.Signature {
+			return rt.BuildSignature("synthetic", 0x1234, []string{"scan"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, hot := replayFixture(t, pc, tc.opts...)
+			v, err := rt.ArmPlan(tc.mutate(rt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != core.LookupStale {
+				t.Fatalf("verdict = %v, want stale", v)
+			}
+			if rt.Replaying() {
+				t.Fatal("stale plan was armed for replay")
+			}
+			// The fallback is the full online loop: the epoch profiles
+			// and optimizes on its own samples.
+			er := epochOn(t, rt, "e1", hot)
+			if er.Replayed {
+				t.Fatal("stale-fallback epoch marked Replayed")
+			}
+			if er.Samples == 0 || !er.Optimized {
+				t.Fatalf("stale-fallback epoch did not run the online loop: %+v", er)
+			}
+			// And the fallback records a fresh plan under the new
+			// signature, so the next identical run hits.
+			if _, err := rt.FinishPlan(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestArmPlanRequirements pins the preconditions: a plan cache, the
+// governor, the synchronous loop, and one arm per session.
+func TestArmPlanRequirements(t *testing.T) {
+	sig := core.Signature{Graph: "g", Kernels: "k"}
+
+	noCache, err := New(NVMDRAM(), WithGovernor(GovernorOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noCache.ArmPlan(sig); err == nil {
+		t.Error("ArmPlan without a plan cache must fail")
+	}
+
+	ungoverned, err := New(NVMDRAM(), WithPlanCache(core.NewPlanCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ungoverned.ArmPlan(sig); err == nil {
+		t.Error("ArmPlan without the governor must fail")
+	}
+
+	async, err := New(NVMDRAM(),
+		WithPlanCache(core.NewPlanCache()),
+		WithAsyncPlacement(AsyncOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := async.ArmPlan(sig); err == nil {
+		t.Error("ArmPlan under async placement must fail")
+	}
+
+	pc := core.NewPlanCache()
+	rt, _ := replayFixture(t, pc)
+	if _, err := rt.ArmPlan(rt.BuildSignature("g", 1, []string{"k"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ArmPlan(rt.BuildSignature("g", 1, []string{"k"})); err == nil {
+		t.Error("double ArmPlan must fail")
+	}
+	if _, err := rt.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.FinishPlan(); err == nil {
+		t.Error("FinishPlan without an armed plan must fail")
+	}
+}

@@ -50,6 +50,17 @@ type Runtime struct {
 	gov     *govInfo
 	epoch   int
 
+	// Compiled-plan record/replay state (see replay.go). planRec is
+	// non-nil while a governed run's placement decisions are being
+	// recorded; armedPlan is non-nil while a cached plan is replaying
+	// (planEpoch counts the plan epochs applied so far); planVerdict is
+	// the last ArmPlan lookup outcome.
+	planCache   *core.PlanCache
+	planRec     *core.PlanRecorder
+	armedPlan   *core.CompiledPlan
+	planEpoch   int
+	planVerdict core.LookupVerdict
+
 	// Telemetry state (see telemetry.go). simNS is the simulated-clock
 	// cursor in nanoseconds, advanced by phase wall time and modelled
 	// migration time; rec is nil when telemetry is off.
@@ -139,6 +150,7 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 		ts := r.prof.ThreadSampler(i)
 		r.accessors[i].SetMissHook(ts.OnMiss)
 	}
+	r.planCache = o.PlanCache
 	r.rec = o.Recorder
 	r.rec.SetSimClock(r.simNS.Load)
 	// One extra track past the simulated threads for the background
@@ -603,12 +615,20 @@ func (c *Ctx) Range(n int) (lo, hi int) {
 // returns the phase's simulated time and event statistics.
 func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 	r.rec.Begin(0, "phase", name, nil)
+	// With no background placement worker, nothing can publish a
+	// shootdown or install a quiesce gate while the phase runs, so the
+	// accessors are sealed for the duration: the per-access cross-thread
+	// check disappears entirely and every hot-path touch is
+	// accessor-private. Under async placement the full one-load protocol
+	// stays on.
+	sealed := !r.asyncActive.Load()
 	for _, a := range r.accessors {
 		a.ResetCounters()
 		// Apply shootdowns published since the thread's last access, so
 		// an idle thread does not carry stale translations into the
 		// phase (its applied count lands in this phase's counters).
 		a.DrainShootdowns()
+		a.SetSealed(sealed)
 	}
 	var wg sync.WaitGroup
 	for i := range r.accessors {
@@ -619,6 +639,9 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 		}(i)
 	}
 	wg.Wait()
+	for _, a := range r.accessors {
+		a.SetSealed(false)
+	}
 	pr := PhaseResult{
 		Name:  name,
 		Stats: r.sys.ReducePhase(r.accessors),
