@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"atmem/internal/faultinject"
 	"atmem/internal/harness"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceDir := flag.String("trace", "", "record telemetry and write per-run trace artifacts into this directory")
 	async := flag.Bool("async", false, "drive every ATMem-policy run through overlapped background placement (migration concurrent with kernels)")
+	faults := flag.String("faults", "", "arm a fault-injection schedule on every run (DSL, e.g. 'retier:nth=3;reserve:p=0.01,seed=7,max=5')")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to this file")
 	benchJSON := flag.String("bench-json", harness.BenchSimPath, "path the bench-sim experiment writes its JSON artifact to")
@@ -63,13 +65,23 @@ func main() {
 		}
 	}
 
+	var sched *faultinject.Schedule
+	if *faults != "" {
+		s, err := faultinject.ParseSchedule(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmem-bench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		sched = &s
+	}
+
 	harness.BenchSimPath = *benchJSON
 	// runAll lives in its own function so the profile writers flush on
 	// every exit path, including experiment failures.
-	os.Exit(runAll(exps, *format, *verbose, *traceDir, *async, *cpuprofile, *memprofile))
+	os.Exit(runAll(exps, *format, *verbose, *traceDir, *async, sched, *cpuprofile, *memprofile))
 }
 
-func runAll(exps []harness.Experiment, format string, verbose bool, traceDir string, async bool, cpuprofile, memprofile string) int {
+func runAll(exps []harness.Experiment, format string, verbose bool, traceDir string, async bool, faults *faultinject.Schedule, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -105,6 +117,12 @@ func runAll(exps []harness.Experiment, format string, verbose bool, traceDir str
 	suite.Verbose = verbose
 	suite.TraceDir = traceDir
 	suite.Async = async
+	if faults != nil {
+		suite.Faults = faults
+		// The canonical String() form keys the memoized runs, so two
+		// spellings of the same schedule share cache entries.
+		suite.FaultLabel = faults.String()
+	}
 	for _, e := range exps {
 		reports, err := e.Run(suite)
 		if err != nil {

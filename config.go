@@ -25,6 +25,7 @@ import (
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
 	"atmem/internal/governor"
+	"atmem/internal/health"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -190,6 +191,32 @@ type Options struct {
 	// Governor.Enabled (the pipeline is built on the governed delta
 	// planner).
 	Async AsyncOptions
+	// Health configures the tier-health subsystem: a per-granule error
+	// scoreboard feeding exponential-backoff distrust and persistent
+	// -fault quarantine, and (with Health.Scrub) a CRC-32C scrubber
+	// that walks the fast-tier residency between governed epochs,
+	// repairs detected corruption from its backup, emergency-demotes
+	// the damaged chunk, and retires its pages from the allocatable
+	// fast-tier capacity. See health.go.
+	Health HealthOptions
+	// Retry shapes the per-region degradation ladder shared by both
+	// migration engines and the scrubber's emergency demotion path. The
+	// zero value keeps each engine's historical ladder (see
+	// migrate.RetryPolicy).
+	Retry migrate.RetryPolicy
+}
+
+// HealthOptions configures the tier-health subsystem (see
+// Options.Health).
+type HealthOptions struct {
+	// Enabled turns the error scoreboard and self-healing placement on.
+	Enabled bool
+	// Scrub additionally enables the between-epoch CRC scrubber;
+	// implies Enabled.
+	Scrub bool
+	// Policy tunes granularity, windows, backoff, and scrub bandwidth;
+	// zero fields take the health package defaults.
+	Policy health.Policy
 }
 
 // AsyncOptions configures overlapped background placement (see
@@ -270,6 +297,9 @@ func (o *Options) withDefaults() Options {
 	if out.Async.StealFraction > 1 {
 		out.Async.StealFraction = 1
 	}
+	if out.Health.Scrub {
+		out.Health.Enabled = true
+	}
 	return out
 }
 
@@ -279,12 +309,13 @@ const defaultStagingBytes = 2 << 20
 // charged to the simulated clock (see AsyncOptions.StealFraction).
 const defaultStealFraction = 0.25
 
-// newEngine builds the configured migration engine.
+// newEngine builds the configured migration engine; both engines share
+// the configured retry policy.
 func (o *Options) newEngine(threads int) migrate.Engine {
 	switch o.Mechanism {
 	case MigrateMbind:
-		return &migrate.MbindEngine{}
+		return &migrate.MbindEngine{Retry: o.Retry}
 	default:
-		return &migrate.ATMemEngine{Threads: threads, StagingBytes: defaultStagingBytes}
+		return &migrate.ATMemEngine{Threads: threads, StagingBytes: defaultStagingBytes, Retry: o.Retry}
 	}
 }

@@ -128,6 +128,14 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	rep := EpochReport{Epoch: r.epoch}
 	phaseStart := len(r.phases)
 
+	// Epoch-start health pass: fire the fault schedule's epoch-driven
+	// orders and scrub the fast-tier residency, so injected corruption is
+	// detected and repaired before any kernel consumes it (see health.go).
+	if herr := r.beginEpochHealth(0); herr != nil {
+		r.rec.End(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "error": herr.Error()})
+		return rep, herr
+	}
+
 	// Each epoch ranks on its own interval's heat: stale samples from
 	// previous intervals would anchor the old hot set and mask drift.
 	r.reg.ResetSamples()
@@ -151,6 +159,11 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	}
 	if r.planRec != nil && r.planRec.Epochs() == recBase {
 		r.recordCommitted(nil, nil)
+	}
+	// Epoch-end health pass: evacuate condemned granules and re-snapshot
+	// the settled fast-tier residency for the next epoch's scrub.
+	if err == nil {
+		err = r.endEpochHealth(0)
 	}
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
@@ -177,6 +190,7 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	defer func() {
 		r.logNewFaults(tid)
 		r.logBreakerTransitions(tid)
+		r.logHealthTransitions(tid)
 		r.rec.End(tid, "optimize", "optimize", r.optimizeSpanArgs())
 	}()
 
@@ -241,6 +255,14 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	// the projection drains to the low watermark. This is what lets a
 	// hot-set shift or a budget cut proceed before hysteresis expires.
 	capEff := r.sys.P.Tiers[memsim.TierFast].CapacityBytes
+	// Quarantined pages are capacity the tier no longer has: the
+	// watermarks must drain occupancy against the effective size, or a
+	// shrunken tier would never look pressured.
+	if q := r.sys.Quarantined(); capEff > q {
+		capEff -= q
+	} else {
+		capEff = 0
+	}
 	if capEff > r.opts.CapacityReserve {
 		capEff -= r.opts.CapacityReserve
 	} else {
@@ -269,6 +291,8 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	for _, rg := range delta.Promotions {
 		sched.Promotions = append(sched.Promotions, migrate.Region{Base: rg.Base, Size: rg.Size})
 	}
+	// Health veto: never promote onto quarantined or distrusted granules.
+	sched.Promotions = r.filterPromotions(tid, sched.Promotions)
 	gi.emptyDelta = sched.Empty()
 
 	if gi.decision == governor.DecisionProbe && !sched.Empty() {
@@ -319,6 +343,9 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	gi.promotedBytes = res.Promotions.BytesMoved
 	gi.demotedBytes = res.Demotions.BytesMoved
 	gi.regionsDemoted = len(res.Demotions.Moved)
+	// Promotion outcomes are health observations: committed promotions
+	// vouch for their target granules, skipped ones indict them.
+	r.observeMigrationHealth(res)
 	// Plan recording captures exactly what committed this epoch — the
 	// decisions a replay must reproduce (see replay.go).
 	r.recordCommitted(res.Promotions.Moved, res.Demotions.Moved)

@@ -1,0 +1,499 @@
+package atmem
+
+// This file is the runtime half of the tier-health subsystem (the
+// mechanisms live in internal/health, the quarantine ledger in
+// internal/memsim). Each governed epoch brackets its body with two
+// health passes:
+//
+//   - epoch start, before any kernel runs: fire the fault schedule's
+//     data-plane orders (corruption byte-flips, latency degradation),
+//     then walk the scrubber's CRC references over the fast-tier
+//     residency. A mismatch is repaired from the scrubber's backup (the
+//     modelled ECC/replica rebuild), the damaged chunk is emergency-
+//     demoted through the transactional migration engine, and its pages
+//     are retired into the quarantine ledger — so kernels never consume
+//     corrupted bytes and the final results of a faulted run stay
+//     bit-identical to a fault-free one.
+//
+//   - epoch end, after the epoch's migration: demote-and-retire any
+//     granule the scoreboard condemned this epoch, then re-snapshot the
+//     fast-resident chunks. Because nothing runs between the snapshot
+//     and the next epoch's verify, a mismatch can only be injected
+//     corruption — the scrubber has no false positives.
+//
+// The governed Optimize additionally treats quarantined bytes as
+// capacity shrink (the ledger is charged inside memsim's capacity
+// checks), vetoes promotions onto quarantined or distrusted granules,
+// and feeds per-region migration outcomes back into the scoreboard.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"atmem/internal/faultinject"
+	"atmem/internal/health"
+	"atmem/internal/memsim"
+	"atmem/internal/migrate"
+	"atmem/internal/telemetry"
+)
+
+// healthCounters accumulates the runtime's self-healing activity, the
+// source of MigrationReport.Health.
+type healthCounters struct {
+	corruptedChunks    int    // chunks hit by injected corruption orders
+	emergencyDemotions int    // chunks demoted by the scrub repair path
+	promotionsVetoed   int    // promotion regions dropped by trust checks
+	vetoedBytes        uint64 // bytes those regions held
+	retiredRanges      int    // successful RetirePages calls
+	degradeOrders      int    // latency-degradation orders applied
+	// pendingRetire holds ranges whose retirement failed (the evacuation
+	// was skipped, e.g. under an active fault storm): the epoch-end heal
+	// retries them until the pages can be evacuated and retired.
+	pendingRetire []pendingRetire
+}
+
+// pendingRetire is one deferred page retirement.
+type pendingRetire struct {
+	base, size uint64
+	reason     string
+}
+
+// HealthStats is a point-in-time snapshot of the whole tier-health
+// subsystem, for the harness and tests.
+type HealthStats struct {
+	// Quarantined is the ledger total of retired fast-tier bytes.
+	Quarantined uint64
+	// QuarantinedRanges counts the ledger's disjoint ranges.
+	QuarantinedRanges int
+	// Scrub summarizes the scrubber (zero without WithScrubber).
+	Scrub health.ScrubStats
+	// Board summarizes the scoreboard (zero without health enabled).
+	Board health.Stats
+	// CorruptedChunks counts chunks hit by injected corruption orders.
+	CorruptedChunks int
+	// EmergencyDemotions counts chunks the scrub repair path demoted.
+	EmergencyDemotions int
+	// PromotionsVetoed counts promotion regions dropped because they
+	// overlapped quarantined or distrusted granules.
+	PromotionsVetoed int
+	// RetiredRanges counts successful page retirements.
+	RetiredRanges int
+	// DegradedRanges counts latency-degradation orders applied.
+	DegradedRanges int
+}
+
+// HealthStats returns the current tier-health snapshot.
+func (r *Runtime) HealthStats() HealthStats {
+	hs := HealthStats{
+		Quarantined:        r.sys.Quarantined(),
+		QuarantinedRanges:  len(r.sys.QuarantinedRanges()),
+		CorruptedChunks:    r.heal.corruptedChunks,
+		EmergencyDemotions: r.heal.emergencyDemotions,
+		PromotionsVetoed:   r.heal.promotionsVetoed,
+		RetiredRanges:      r.heal.retiredRanges,
+		DegradedRanges:     r.heal.degradeOrders,
+	}
+	if r.scrub != nil {
+		hs.Scrub = r.scrub.Stats()
+	}
+	if r.board != nil {
+		hs.Board = r.board.Stats()
+	}
+	return hs
+}
+
+// Scoreboard exposes the health scoreboard (nil unless Options.Health
+// is enabled), for tests and the harness.
+func (r *Runtime) Scoreboard() *health.Scoreboard { return r.board }
+
+// healthPolicy returns the effective health policy.
+func (r *Runtime) healthPolicy() health.Policy {
+	if r.board != nil {
+		return r.board.Policy()
+	}
+	return health.Policy{}.WithDefaults()
+}
+
+// healthFingerprint serializes the health state and policy a compiled
+// plan's placement decisions depend on. The memsim health generation
+// advances on every retirement or degradation, so a plan recorded on
+// healthy memory goes stale the moment pages are quarantined — the
+// cached schedule could otherwise replay a promotion onto retired
+// pages.
+func (r *Runtime) healthFingerprint() string {
+	if r.board == nil && r.sys.HealthGen() == 0 {
+		return "off"
+	}
+	pol := "off"
+	if r.board != nil {
+		pol = r.board.Policy().Fingerprint()
+	}
+	return fmt.Sprintf("gen=%d quar=%d scrub=%t policy=%s",
+		r.sys.HealthGen(), r.sys.Quarantined(), r.scrub != nil, pol)
+}
+
+// beginEpochHealth runs the epoch-start health pass: advance the fault
+// schedule's epoch clock and apply any corruption/degradation orders it
+// fires, then scrub the fast-tier residency. Called before the epoch's
+// body, so repairs land before kernels consume the data.
+func (r *Runtime) beginEpochHealth(tid int) error {
+	if r.board != nil {
+		r.board.BeginEpoch()
+	}
+	if r.faults != nil {
+		for _, ord := range r.faults.AdvanceEpoch() {
+			r.applyFaultOrder(tid, ord)
+		}
+	}
+	if r.scrub != nil {
+		if err := r.scrubPass(tid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// endEpochHealth runs the epoch-end health pass: evacuate and retire
+// granules the scoreboard condemned, then re-snapshot the fast-resident
+// chunks so the next epoch's verify has a fresh reference.
+func (r *Runtime) endEpochHealth(tid int) error {
+	if err := r.retryPendingRetires(tid); err != nil {
+		return err
+	}
+	if err := r.healCondemned(tid); err != nil {
+		return err
+	}
+	r.snapshotScrub()
+	return nil
+}
+
+// retryPendingRetires re-attempts retirements that failed in earlier
+// epochs (typically because a fault storm made the evacuation skip):
+// once the storm clears — or the occupying pages demote for any other
+// reason — the condemned range must still end up in the ledger.
+func (r *Runtime) retryPendingRetires(tid int) error {
+	pending := r.heal.pendingRetire
+	if len(pending) == 0 {
+		return nil
+	}
+	r.heal.pendingRetire = nil
+	for _, p := range pending {
+		if err := r.evacuateAndRetire(tid, p.base, p.size, p.reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyFaultOrder executes one epoch-driven data-plane fault order.
+// Orders without an address range target the lowest-addressed fully
+// fast-resident chunk — the faults model fast-tier hardware, so only
+// fast-resident bytes can be hit.
+func (r *Runtime) applyFaultOrder(tid int, ord faultinject.Order) {
+	base, size := ord.Base, ord.Size
+	if size == 0 {
+		var ok bool
+		base, size, ok = r.firstFastChunk()
+		if !ok {
+			return
+		}
+	}
+	switch ord.Kind {
+	case faultinject.Corrupt:
+		n := r.corruptRange(base, size, ord.Seed)
+		r.heal.corruptedChunks += n
+		r.rec.Instant(tid, "health", "corrupt", telemetry.Args{
+			"base": base, "bytes": size, "chunks_hit": n, "epoch": ord.Epoch,
+		})
+	case faultinject.Degrade:
+		f := ord.Factor
+		if f <= 1 {
+			f = 4
+		}
+		r.sys.DegradeRange(base, size, f)
+		r.heal.degradeOrders++
+		r.rec.Instant(tid, "health", "degrade", telemetry.Args{
+			"base": base, "bytes": size, "factor": f, "epoch": ord.Epoch,
+		})
+	}
+}
+
+// firstFastChunk returns the lowest-addressed registered chunk that is
+// fully fast-resident.
+func (r *Runtime) firstFastChunk() (base, size uint64, ok bool) {
+	for _, do := range r.reg.Objects() {
+		for j := 0; j < do.NumChunks; j++ {
+			lo, hi := do.ChunkRange(j)
+			if hi == lo {
+				continue
+			}
+			if r.sys.BytesOnTier(lo, hi-lo)[memsim.TierFast] == hi-lo {
+				return lo, hi - lo, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// corruptRange flips bytes, deterministically from seed, in the
+// fast-resident scrub-tracked chunks overlapping [base, base+size) —
+// the bytes a failing fast-tier device would damage. It returns how
+// many chunks were hit. Without a scrubber the corruption lands on the
+// first fast-resident page of the overlap per object (there is nothing
+// to detect it with; tests use this to prove undetected corruption is
+// possible when scrubbing is off).
+func (r *Runtime) corruptRange(base, size uint64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	hit := 0
+	flip := func(seg []byte) {
+		if len(seg) == 0 {
+			return
+		}
+		for k, n := 0, 1+rng.Intn(4); k < n; k++ {
+			seg[rng.Intn(len(seg))] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	if r.scrub != nil {
+		for _, tr := range r.scrub.Tracked() {
+			if tr.Base >= base+size || base >= tr.Base+tr.Size {
+				continue
+			}
+			if o := r.objectContaining(tr.Base); o != nil && o.data != nil {
+				flip(o.data[tr.Base-o.base : tr.Base-o.base+tr.Size])
+				hit++
+			}
+		}
+		return hit
+	}
+	for _, o := range r.Objects() {
+		if o.data == nil {
+			continue
+		}
+		lo, hi := max64(base, o.base), min64(base+size, o.base+o.size)
+		for pa := lo &^ (memsim.SmallPage - 1); pa < hi; pa += memsim.SmallPage {
+			if r.sys.BytesOnTier(pa, memsim.SmallPage)[memsim.TierFast] != memsim.SmallPage {
+				continue
+			}
+			slo, shi := max64(pa, lo), min64(pa+memsim.SmallPage, hi)
+			flip(o.data[slo-o.base : shi-o.base])
+			hit++
+			break // one page per object is damage enough
+		}
+	}
+	return hit
+}
+
+// objectContaining returns the live object whose range covers addr.
+func (r *Runtime) objectContaining(addr uint64) *Object {
+	if do, _, ok := r.reg.Find(addr); ok {
+		return r.objects[do.Base]
+	}
+	return nil
+}
+
+// scrubPass verifies every tracked chunk's CRC against its fast-tier
+// bytes. Detections are repaired in place from the scrubber's backup,
+// fed to the scoreboard as hard failures, and healed: the chunk is
+// demoted through the transactional engine and its pages retired. The
+// modelled scrub read time is charged to the simulated clock.
+func (r *Runtime) scrubPass(tid int) error {
+	before := r.scrub.Stats()
+	for _, tr := range r.scrub.Tracked() {
+		o := r.objectContaining(tr.Base)
+		if o == nil || o.data == nil {
+			r.scrub.Forget(tr.Base)
+			continue
+		}
+		data := o.data[tr.Base-o.base : tr.Base-o.base+tr.Size]
+		if r.scrub.Verify(tr.Base, data) {
+			continue
+		}
+		// Detection: the backup restore already repaired the bytes;
+		// now get the data off the bad pages and retire them.
+		r.rec.Instant(tid, "health", "scrub-detect", telemetry.Args{
+			"object": o.name, "base": tr.Base, "bytes": tr.Size,
+		})
+		if r.board != nil {
+			r.board.ObserveFailure(tr.Base, tr.Size, "crc")
+		}
+		if err := r.evacuateAndRetire(tid, tr.Base, tr.Size, "scrub"); err != nil {
+			return err
+		}
+		r.heal.emergencyDemotions++
+		r.scrub.Forget(tr.Base)
+	}
+	after := r.scrub.Stats()
+	if gbs := r.healthPolicy().ScrubGBs; gbs > 0 {
+		scanned := after.BytesScrubbed - before.BytesScrubbed
+		r.simNS.Add(uint64(float64(scanned) / (gbs * 1e9) * 1e9))
+	}
+	return nil
+}
+
+// evacuateAndRetire demotes the page-aligned range off the fast tier
+// through the migration engine (the engine's retry policy applies),
+// then retires the pages into the quarantine ledger. A demotion that
+// cannot complete leaves the pages unretired (quarantining mapped fast
+// pages would corrupt the capacity ledger); only a failed rollback is
+// an error.
+func (r *Runtime) evacuateAndRetire(tid int, base, size uint64, reason string) error {
+	alo := base &^ (memsim.SmallPage - 1)
+	ahi := memsim.RoundUp(base+size, memsim.SmallPage)
+	if r.sys.IsQuarantined(alo, ahi-alo) &&
+		r.sys.BytesOnTier(alo, ahi-alo)[memsim.TierFast] == 0 {
+		return nil
+	}
+	sched := migrate.Schedule{Demotions: []migrate.Region{{Base: alo, Size: ahi - alo}}}
+	optStart := r.simNS.Load()
+	var sink migrate.EventSink
+	if r.rec.Enabled() {
+		sink = func(ev migrate.Event) { r.emitMigrationEvent(tid, optStart, ev) }
+	}
+	// Healing is not tied to a caller's epoch context: a cancelled epoch
+	// must still leave damaged chunks evacuated.
+	res, err := migrate.RunSchedule(context.Background(), r.engine, r.sys, sched, sink)
+	r.simNS.Add(uint64(res.Merged.Seconds * 1e9))
+	if err != nil {
+		return fmt.Errorf("atmem: emergency demotion [%#x,+%#x): %w", alo, ahi-alo, err)
+	}
+	r.invalidateMoved(res.Merged.Moved)
+	if r.resid != nil {
+		for _, rg := range res.Demotions.Moved {
+			r.markMovedRegion(rg, false)
+		}
+	}
+	if err := r.sys.RetirePages(alo, ahi-alo); err != nil {
+		// The demotion was skipped (e.g. a fault storm): the pages are
+		// still mapped fast, so they cannot be retired yet. Surface the
+		// condition and queue a retry for a later epoch's heal pass.
+		r.rec.Instant(tid, "health", "retire-failed", telemetry.Args{
+			"base": alo, "bytes": ahi - alo, "reason": reason, "error": err.Error(),
+		})
+		for _, p := range r.heal.pendingRetire {
+			if p.base == alo && p.size == ahi-alo {
+				return nil
+			}
+		}
+		r.heal.pendingRetire = append(r.heal.pendingRetire, pendingRetire{base: alo, size: ahi - alo, reason: reason})
+		return nil
+	}
+	r.heal.retiredRanges++
+	r.rec.Instant(tid, "health", "retire", telemetry.Args{
+		"base": alo, "bytes": ahi - alo, "reason": reason,
+		"quarantined_total": r.sys.Quarantined(),
+	})
+	return nil
+}
+
+// healCondemned evacuates and retires every granule the scoreboard
+// condemned since the last drain.
+func (r *Runtime) healCondemned(tid int) error {
+	if r.board == nil {
+		return nil
+	}
+	for _, rg := range r.board.DrainCondemned() {
+		if err := r.evacuateAndRetire(tid, rg.Base, rg.Size, "condemned"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotScrub re-records CRC references and backups for every fully
+// fast-resident chunk and forgets chunks that left the fast tier. Runs
+// after the epoch's migration, when residency is settled and no kernel
+// is mutating data — so verify-time mismatches can only be corruption.
+func (r *Runtime) snapshotScrub() {
+	if r.scrub == nil {
+		return
+	}
+	live := make(map[uint64]bool)
+	for _, o := range r.Objects() {
+		if o.data == nil {
+			continue
+		}
+		do := o.do
+		for j := 0; j < do.NumChunks; j++ {
+			lo, hi := do.ChunkRange(j)
+			if hi == lo {
+				continue
+			}
+			if r.sys.BytesOnTier(lo, hi-lo)[memsim.TierFast] != hi-lo {
+				continue
+			}
+			live[lo] = true
+			r.scrub.Snapshot(lo, o.data[lo-o.base:hi-o.base])
+		}
+	}
+	for _, tr := range r.scrub.Tracked() {
+		if !live[tr.Base] {
+			r.scrub.Forget(tr.Base)
+		}
+	}
+}
+
+// trustedForPromotion reports whether a promotion target range is
+// healthy: not overlapping the quarantine ledger and trusted by the
+// scoreboard.
+func (r *Runtime) trustedForPromotion(base, size uint64) bool {
+	if r.sys.IsQuarantined(base, size) {
+		return false
+	}
+	if r.board != nil && !r.board.Trusted(base, size) {
+		return false
+	}
+	return true
+}
+
+// filterPromotions drops promotion regions that target quarantined or
+// distrusted granules, counting and tracing each veto. The dropped
+// ranges stay on the slow tier; the scoreboard's backoff decides when
+// they may be retried.
+func (r *Runtime) filterPromotions(tid int, promos []migrate.Region) []migrate.Region {
+	out := promos[:0]
+	for _, rg := range promos {
+		if r.trustedForPromotion(rg.Base, rg.Size) {
+			out = append(out, rg)
+			continue
+		}
+		r.heal.promotionsVetoed++
+		r.heal.vetoedBytes += rg.Size
+		r.rec.Instant(tid, "health", "promotion-vetoed", telemetry.Args{
+			"base": rg.Base, "bytes": rg.Size,
+		})
+	}
+	return out
+}
+
+// observeMigrationHealth feeds one epoch's promotion outcomes to the
+// scoreboard: a committed promotion is a successful use of the target
+// granules, a skipped one a failure. Demotion failures are not scored —
+// they indict the slow tier's staging, not the fast granules health
+// tracks.
+func (r *Runtime) observeMigrationHealth(res migrate.ScheduleResult) {
+	if r.board == nil {
+		return
+	}
+	for _, out := range res.Promotions.Outcomes {
+		if out.Outcome == migrate.OutcomeSkipped {
+			r.board.ObserveFailure(out.Region.Base, out.Region.Size, "migration")
+		} else {
+			r.board.ObserveSuccess(out.Region.Base, out.Region.Size)
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -49,12 +49,18 @@ type Signature struct {
 	// Governor fingerprints the governor config (watermarks, hysteresis,
 	// breaker), which shapes demotion decisions.
 	Governor string
+	// Health fingerprints the tier-health state and policy (quarantine
+	// generation, retired bytes, scrubber, scoreboard knobs). Pages
+	// quarantined after a recording change the fast tier the plan was
+	// recorded against, so the plan must go stale rather than replay a
+	// promotion onto retired pages.
+	Health string
 }
 
 // Key returns the strict cache key: every field participates.
 func (s Signature) Key() string {
-	return fmt.Sprintf("%s|%08x|%s|%d|%s|%s|%s",
-		s.Graph, s.GraphCRC, s.Kernels, s.Threads, s.Testbed, s.Policy, s.Governor)
+	return fmt.Sprintf("%s|%08x|%s|%d|%s|%s|%s|%s",
+		s.Graph, s.GraphCRC, s.Kernels, s.Threads, s.Testbed, s.Policy, s.Governor, s.Health)
 }
 
 // workloadKey is the coarse identity — the workload a user would consider

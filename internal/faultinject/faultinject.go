@@ -18,6 +18,22 @@
 // Injected errors always wrap ErrInjected; a rule may additionally carry
 // a cause (e.g. memsim.ErrNoCapacity) so callers exercising typed-error
 // handling see exactly the error chain a real failure would produce.
+//
+// Beyond the transient rules above, three fault classes model the ways a
+// heterogeneous-memory device degrades for good:
+//
+//   - Persistent rules scope a rule to a virtual address range and fail
+//     every touch of that range from their activation call onward — the
+//     region has gone bad and no retry will fix it;
+//   - Corrupt rules are epoch-driven data-plane orders: they tell the
+//     runtime to flip bytes inside a mapped fast-tier range so CRC
+//     scrubbing (not the control plane) must catch the damage;
+//   - Degrade rules are epoch-driven orders that multiply the modelled
+//     latency of a range, the slow-but-working failure mode.
+//
+// Control-plane rules (Transient, Persistent) fire inside Check/
+// CheckRange; data-plane orders (Corrupt, Degrade) are drained by the
+// runtime via AdvanceEpoch at epoch boundaries and applied by it.
 package faultinject
 
 import (
@@ -43,27 +59,103 @@ const (
 // Ops lists every fault point, for tests that sweep the full matrix.
 var Ops = []Op{OpAlloc, OpReserve, OpRetier, OpSplinter}
 
+// Data-plane fault points: not checked by memsim operations, but used as
+// the Op of events recorded when an epoch-driven Corrupt or Degrade rule
+// fires, so reports and telemetry can label them uniformly.
+const (
+	OpCorrupt Op = "Corrupt"
+	OpDegrade Op = "Degrade"
+)
+
 // ErrInjected is the sentinel every injected fault wraps; detectable with
 // errors.Is.
 var ErrInjected = errors.New("faultinject: injected fault")
 
+// Kind classifies a rule's failure semantics.
+type Kind int
+
+const (
+	// Transient is the zero value: the rule fires per the nth-call /
+	// probabilistic machinery and the failed operation may simply be
+	// retried.
+	Transient Kind = iota
+	// Persistent scopes the rule to an address range (Base, Size) that
+	// fails every touch from the rule's activation call onward; Size 0
+	// makes the rule range-wildcard. Retrying cannot help — only
+	// quarantining the range does.
+	Persistent
+	// Corrupt is an epoch-driven data-plane order: flip bytes inside a
+	// mapped fast-tier range so only a CRC check can catch the damage.
+	// Nth is the 1-based epoch to fire at; Prob fires per epoch.
+	Corrupt
+	// Degrade is an epoch-driven data-plane order: multiply the modelled
+	// latency of a range by Factor from the firing epoch onward.
+	Degrade
+)
+
+// String returns the DSL spelling of the kind ("", "persist", "corrupt",
+// "degrade"); Transient rules are spelled by their Op instead.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Persistent:
+		return "persist"
+	case Corrupt:
+		return "corrupt"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
 // Fault is one armed rule of a Schedule.
 type Fault struct {
-	// Op is the fault point this rule arms.
+	// Kind selects the rule's failure class; the zero value is the
+	// transient nth-call/probabilistic rule shape.
+	Kind Kind
+	// Op is the fault point this rule arms (control-plane kinds only;
+	// Corrupt and Degrade orders are epoch-driven, not op-driven).
 	Op Op
-	// Nth, when non-zero, fires the rule on exactly the Nth call
-	// (1-based) of Op.
+	// Nth, when non-zero, fires a Transient rule on exactly the Nth call
+	// (1-based) of Op. For Persistent rules it is the activation
+	// threshold: the range fails every touch from call Nth onward. For
+	// Corrupt/Degrade it is the 1-based epoch the order fires at.
 	Nth uint64
 	// Prob, when non-zero, fires the rule with this probability on
-	// every call of Op, drawn from the schedule's seeded RNG.
+	// every call of Op (or, for epoch-driven kinds, every epoch), drawn
+	// from the schedule's seeded RNG.
 	Prob float64
 	// MaxFires bounds how many times this rule may fire; 0 means
-	// unlimited (nth-call rules naturally fire at most once).
+	// unlimited (nth-call rules naturally fire at most once, persistent
+	// rules naturally fire without bound).
 	MaxFires int
 	// Err, when non-nil, is wrapped into the injected error alongside
 	// ErrInjected, so errors.Is matches both. Use it to mimic a typed
 	// failure such as memsim.ErrNoCapacity.
 	Err error
+	// Base and Size scope Persistent rules to a virtual address range
+	// and tell Corrupt/Degrade orders which range to damage. Size 0
+	// means range-wildcard: a Persistent rule matches every ranged
+	// touch of its Op, and the runtime picks the damage target for an
+	// order (deterministically, lowest-addressed fast-resident data).
+	Base, Size uint64
+	// Factor is the latency multiplier carried by Degrade orders
+	// (values > 1 slow the range down).
+	Factor float64
+}
+
+// overlaps reports whether the rule's range intersects [base, base+size).
+// A Size-0 rule is a wildcard and matches everything; a size-0 touch
+// carries no range and matches only wildcards.
+func (f *Fault) overlaps(base, size uint64) bool {
+	if f.Size == 0 {
+		return true
+	}
+	if size == 0 {
+		return false
+	}
+	return base < f.Base+f.Size && f.Base < base+size
 }
 
 // Schedule is a deterministic fault plan: a seed for the probabilistic
@@ -80,12 +172,36 @@ type Schedule struct {
 
 // Event records one fired fault, for assertions and reports.
 type Event struct {
-	// Op is the fault point that failed.
+	// Op is the fault point that failed (OpCorrupt/OpDegrade for
+	// epoch-driven data-plane orders).
 	Op Op
-	// Call is the 1-based call number of Op at which the rule fired.
+	// Call is the 1-based call number of Op at which the rule fired
+	// (the epoch number for data-plane orders).
 	Call uint64
 	// Rule indexes the schedule's Faults.
 	Rule int
+}
+
+// Order is one epoch-driven data-plane fault the runtime must apply: a
+// corruption to inject into mapped bytes, or a latency degradation to
+// install on a range. Orders are returned by AdvanceEpoch; the injector
+// only decides *that* they fire — applying them is the runtime's job,
+// since only it can reach mapped bytes and the latency model.
+type Order struct {
+	// Kind is Corrupt or Degrade.
+	Kind Kind
+	// Rule indexes the schedule's Faults.
+	Rule int
+	// Epoch is the 1-based epoch at which the order fired.
+	Epoch uint64
+	// Base and Size are the target range; Size 0 lets the runtime pick
+	// (deterministically) among fast-resident data.
+	Base, Size uint64
+	// Factor is the latency multiplier (Degrade orders).
+	Factor float64
+	// Seed derives deterministic damage (which bytes flip) for Corrupt
+	// orders; it mixes the schedule seed, rule index, and epoch.
+	Seed int64
 }
 
 // Injector evaluates a Schedule at runtime. It is safe for concurrent
@@ -99,6 +215,7 @@ type Injector struct {
 	calls  map[Op]uint64
 	fires  []int
 	events []Event
+	epoch  uint64
 }
 
 // New builds an Injector for the schedule.
@@ -113,23 +230,52 @@ func New(s Schedule) *Injector {
 
 // Check is the hook the simulated system calls on entry of each fault
 // point. It returns nil to let the operation proceed, or the injected
-// error the operation must fail with.
+// error the operation must fail with. Range-scoped Persistent rules do
+// not match a plain Check; address-carrying operations use CheckRange.
 func (in *Injector) Check(op Op) error {
+	return in.CheckRange(op, 0, 0)
+}
+
+// CheckRange is Check for address-carrying fault points (Retier,
+// Splinter): the touched virtual range is matched against Persistent
+// rules, which fail every overlapping touch from their activation call
+// onward. Transient rules behave exactly as under Check — the range
+// does not influence them — so call numbering is shared between Check
+// and CheckRange.
+func (in *Injector) CheckRange(op Op, base, size uint64) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.calls[op]++
 	n := in.calls[op]
 	for i := range in.sched.Faults {
 		f := &in.sched.Faults[i]
-		if f.Op != op {
+		if f.Op != op || f.Kind == Corrupt || f.Kind == Degrade {
 			continue
 		}
 		if f.MaxFires > 0 && in.fires[i] >= f.MaxFires {
 			continue
 		}
-		hit := f.Nth > 0 && f.Nth == n
-		if !hit && f.Prob > 0 && in.rng.Float64() < f.Prob {
-			hit = true
+		var hit bool
+		if f.Kind == Persistent {
+			// A persistent rule fails every overlapping touch once
+			// activated: from call Nth onward, or — probabilistic rules
+			// — latched permanently by the first successful draw.
+			if !f.overlaps(base, size) {
+				continue
+			}
+			switch {
+			case f.Nth > 0:
+				hit = n >= f.Nth
+			case f.Prob > 0:
+				hit = in.fires[i] > 0 || in.rng.Float64() < f.Prob
+			default:
+				hit = true
+			}
+		} else {
+			hit = f.Nth > 0 && f.Nth == n
+			if !hit && f.Prob > 0 && in.rng.Float64() < f.Prob {
+				hit = true
+			}
 		}
 		if !hit {
 			continue
@@ -142,6 +288,69 @@ func (in *Injector) Check(op Op) error {
 		return fmt.Errorf("%w: %s call %d", ErrInjected, op, n)
 	}
 	return nil
+}
+
+// AdvanceEpoch advances the injector's epoch clock and returns the
+// data-plane orders (Corrupt, Degrade rules) firing this epoch, in rule
+// order. The runtime calls it once per optimization epoch, before the
+// epoch's kernels run, and applies the returned orders itself. Fired
+// orders are recorded as events (Op OpCorrupt/OpDegrade, Call = epoch).
+func (in *Injector) AdvanceEpoch() []Order {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.epoch++
+	var orders []Order
+	for i := range in.sched.Faults {
+		f := &in.sched.Faults[i]
+		if f.Kind != Corrupt && f.Kind != Degrade {
+			continue
+		}
+		if f.MaxFires > 0 && in.fires[i] >= f.MaxFires {
+			continue
+		}
+		hit := f.Nth > 0 && f.Nth == in.epoch
+		if !hit && f.Prob > 0 && in.rng.Float64() < f.Prob {
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		op := OpCorrupt
+		if f.Kind == Degrade {
+			op = OpDegrade
+		}
+		in.fires[i]++
+		in.events = append(in.events, Event{Op: op, Call: in.epoch, Rule: i})
+		orders = append(orders, Order{
+			Kind:   f.Kind,
+			Rule:   i,
+			Epoch:  in.epoch,
+			Base:   f.Base,
+			Size:   f.Size,
+			Factor: f.Factor,
+			Seed:   in.sched.Seed ^ int64(i+1)<<32 ^ int64(in.epoch),
+		})
+	}
+	return orders
+}
+
+// Epoch returns how many times AdvanceEpoch has been called.
+func (in *Injector) Epoch() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.epoch
+}
+
+// Arm appends rules to the live schedule. It exists for faults whose
+// address ranges are only known after allocation (a test or soak harness
+// computes object addresses, then arms Persistent/Corrupt rules aimed at
+// them). Armed rules join the schedule's rule numbering after the
+// existing ones and survive Reset like any other rule.
+func (in *Injector) Arm(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sched.Faults = append(in.sched.Faults, faults...)
+	in.fires = append(in.fires, make([]int, len(faults))...)
 }
 
 // Calls returns how many times the fault point has been evaluated.
@@ -190,4 +399,5 @@ func (in *Injector) Reset() {
 		in.fires[i] = 0
 	}
 	in.events = nil
+	in.epoch = 0
 }

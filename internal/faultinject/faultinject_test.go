@@ -123,6 +123,153 @@ func TestZeroScheduleInjectsNothing(t *testing.T) {
 	}
 }
 
+func TestPersistentRangeFailsEveryTouch(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{
+		{Kind: Persistent, Op: OpRetier, Base: 1 << 20, Size: 2 << 20},
+	}})
+	// Touches outside the range never fault, no matter how often.
+	for i := 0; i < 4; i++ {
+		if err := in.CheckRange(OpRetier, 8<<20, 1<<20); err != nil {
+			t.Fatalf("outside touch faulted: %v", err)
+		}
+	}
+	// Every overlapping touch faults, forever — no retry can help.
+	for i := 0; i < 4; i++ {
+		if err := in.CheckRange(OpRetier, 2<<20, 4096); err == nil {
+			t.Fatalf("overlapping touch %d passed", i+1)
+		}
+	}
+	// A plain Check (no range) does not match a range-scoped rule.
+	if err := in.Check(OpRetier); err != nil {
+		t.Fatalf("rangeless check faulted: %v", err)
+	}
+}
+
+func TestPersistentActivationThreshold(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{
+		{Kind: Persistent, Op: OpRetier, Nth: 3},
+	}})
+	// Wildcard range: matches all touches, but only from call 3 onward.
+	for call := 1; call <= 6; call++ {
+		err := in.CheckRange(OpRetier, uint64(call)<<12, 4096)
+		if call < 3 && err != nil {
+			t.Fatalf("call %d faulted before activation: %v", call, err)
+		}
+		if call >= 3 && err == nil {
+			t.Fatalf("call %d passed after activation", call)
+		}
+	}
+	if in.Fired() != 4 {
+		t.Errorf("fired %d, want 4 (calls 3..6)", in.Fired())
+	}
+}
+
+func TestPersistentProbabilisticLatches(t *testing.T) {
+	in := New(Schedule{Seed: 3, Faults: []Fault{
+		{Kind: Persistent, Op: OpRetier, Prob: 0.3},
+	}})
+	first := -1
+	for i := 0; i < 64; i++ {
+		if in.CheckRange(OpRetier, 0, 4096) != nil {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("probabilistic persistent rule never fired in 64 calls")
+	}
+	for i := 0; i < 16; i++ {
+		if in.CheckRange(OpRetier, 0, 4096) == nil {
+			t.Fatalf("call %d after the latch passed", i+1)
+		}
+	}
+}
+
+func TestTransientRulesIgnoreRange(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{{Op: OpRetier, Nth: 2}}})
+	if err := in.CheckRange(OpRetier, 0, 4096); err != nil {
+		t.Fatalf("call 1 faulted: %v", err)
+	}
+	if err := in.CheckRange(OpRetier, 99<<20, 4096); err == nil {
+		t.Fatal("nth=2 transient rule did not fire on ranged call 2")
+	}
+}
+
+func TestAdvanceEpochFiresOrders(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{
+		{Kind: Corrupt, Nth: 2, Base: 4096, Size: 8192},
+		{Kind: Degrade, Nth: 3, Factor: 4},
+	}})
+	if got := in.AdvanceEpoch(); len(got) != 0 {
+		t.Fatalf("epoch 1 fired %d orders", len(got))
+	}
+	got := in.AdvanceEpoch()
+	if len(got) != 1 || got[0].Kind != Corrupt || got[0].Epoch != 2 ||
+		got[0].Base != 4096 || got[0].Size != 8192 {
+		t.Fatalf("epoch 2 orders = %+v", got)
+	}
+	got = in.AdvanceEpoch()
+	if len(got) != 1 || got[0].Kind != Degrade || got[0].Factor != 4 {
+		t.Fatalf("epoch 3 orders = %+v", got)
+	}
+	if got := in.AdvanceEpoch(); len(got) != 0 {
+		t.Fatalf("epoch 4 fired %d orders", len(got))
+	}
+	// Orders are recorded as events under the data-plane fault points.
+	evs := in.Events()
+	if len(evs) != 2 || evs[0].Op != OpCorrupt || evs[0].Call != 2 ||
+		evs[1].Op != OpDegrade || evs[1].Call != 3 {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestAdvanceEpochSeedDeterministic(t *testing.T) {
+	sched := Schedule{Seed: 11, Faults: []Fault{{Kind: Corrupt, Prob: 0.5}}}
+	run := func() []uint64 {
+		in := New(sched)
+		var fired []uint64
+		for e := 0; e < 32; e++ {
+			for _, o := range in.AdvanceEpoch() {
+				fired = append(fired, o.Epoch)
+				if o.Seed == 0 {
+					t.Error("order seed is zero")
+				}
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("p=0.5 fired %d/32 epochs; suspicious", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch sequence diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestArmAddsRulesLate(t *testing.T) {
+	in := New(Schedule{Faults: []Fault{{Op: OpAlloc, Nth: 1}}})
+	if in.Check(OpAlloc) == nil {
+		t.Fatal("pre-armed rule did not fire")
+	}
+	if err := in.CheckRange(OpRetier, 0, 4096); err != nil {
+		t.Fatalf("unarmed retier faulted: %v", err)
+	}
+	in.Arm(Fault{Kind: Persistent, Op: OpRetier, Base: 0, Size: 8192})
+	if in.CheckRange(OpRetier, 4096, 4096) == nil {
+		t.Fatal("armed persistent rule did not fire")
+	}
+	evs := in.Events()
+	if len(evs) != 2 || evs[1].Rule != 1 {
+		t.Errorf("events = %+v, want armed rule at index 1", evs)
+	}
+}
+
 func TestDisarmStopsFiringKeepsHistory(t *testing.T) {
 	in := New(Schedule{Faults: []Fault{{Op: OpReserve, Prob: 1}}})
 	for i := 0; i < 3; i++ {

@@ -1,0 +1,311 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the fault-schedule string DSL, so soak harnesses
+// and the atmem-bench CLI can arm schedules without writing Go:
+//
+//	retier:nth=3;reserve:p=0.01,seed=7,max=5
+//	persist:base=1048576,size=2097152;corrupt:epoch=3;degrade:epoch=5,factor=4
+//
+// A schedule is ';'-separated clauses. Each clause is a fault point —
+// alloc, reserve, retier, splinter for transient rules; persist,
+// corrupt, degrade for the persistent/data-plane kinds — optionally
+// followed by ':' and ','-separated key=value params. A bare seed=N
+// clause (or a seed param inside any clause) sets the schedule seed.
+//
+// Params: nth (transient firing call / persistent activation call),
+// p (per-call or per-epoch probability), max (MaxFires), err (error
+// text), base and size (address range; 0x hex and k/m/g suffixes
+// accepted), epoch (firing epoch, corrupt/degrade), factor (latency
+// multiplier, degrade), op (the guarded operation, persist only;
+// default retier).
+//
+// Schedule.String renders the canonical form — seed clause first, plain
+// decimal numbers — and ParseSchedule(s.String()) round-trips.
+
+var opNames = map[string]Op{
+	"alloc":    OpAlloc,
+	"reserve":  OpReserve,
+	"retier":   OpRetier,
+	"splinter": OpSplinter,
+}
+
+// defaultDegradeFactor is the latency multiplier a degrade clause gets
+// when factor= is omitted: roughly "the fast tier now performs like the
+// slow one".
+const defaultDegradeFactor = 4
+
+// ParseSchedule parses the fault-schedule DSL described above. An empty
+// (or all-whitespace) input yields the zero Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, params, _ := strings.Cut(clause, ":")
+		head = strings.TrimSpace(head)
+
+		// Bare seed=N clause.
+		if k, v, ok := strings.Cut(head, "="); ok && strings.TrimSpace(k) == "seed" && params == "" {
+			seed, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+			}
+			sched.Seed = seed
+			continue
+		}
+
+		f, seed, hasSeed, err := parseClause(head, params)
+		if err != nil {
+			return Schedule{}, err
+		}
+		if hasSeed {
+			sched.Seed = seed
+		}
+		sched.Faults = append(sched.Faults, f)
+	}
+	return sched, nil
+}
+
+// parseClause parses one "point:params" clause into a Fault, also
+// returning a seed if one was given inline.
+func parseClause(head, params string) (Fault, int64, bool, error) {
+	var f Fault
+	switch head {
+	case "persist":
+		f.Kind = Persistent
+		f.Op = OpRetier
+	case "corrupt":
+		f.Kind = Corrupt
+	case "degrade":
+		f.Kind = Degrade
+		f.Factor = defaultDegradeFactor
+	default:
+		op, ok := opNames[head]
+		if !ok {
+			return f, 0, false, fmt.Errorf("faultinject: unknown fault point %q", head)
+		}
+		f.Op = op
+	}
+
+	var seed int64
+	var hasSeed bool
+	if strings.TrimSpace(params) != "" {
+		for _, p := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return f, 0, false, fmt.Errorf("faultinject: bad param %q (want key=value)", strings.TrimSpace(p))
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			if err := applyParam(&f, head, key, val, &seed, &hasSeed); err != nil {
+				return f, 0, false, err
+			}
+		}
+	}
+	if err := validateClause(&f, head); err != nil {
+		return f, 0, false, err
+	}
+	return f, seed, hasSeed, nil
+}
+
+func applyParam(f *Fault, head, key, val string, seed *int64, hasSeed *bool) error {
+	epochDriven := f.Kind == Corrupt || f.Kind == Degrade
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+		}
+		*seed, *hasSeed = n, true
+	case "nth":
+		if epochDriven {
+			return fmt.Errorf("faultinject: %s is epoch-driven; use epoch= instead of nth=", head)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("faultinject: bad nth %q (want positive integer)", val)
+		}
+		f.Nth = n
+	case "epoch":
+		if !epochDriven {
+			return fmt.Errorf("faultinject: epoch= only applies to corrupt/degrade clauses")
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("faultinject: bad epoch %q (want positive integer)", val)
+		}
+		f.Nth = n
+	case "p":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return fmt.Errorf("faultinject: bad probability %q (want 0 < p <= 1)", val)
+		}
+		f.Prob = p
+	case "max":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faultinject: bad max %q (want positive integer)", val)
+		}
+		f.MaxFires = n
+	case "err":
+		if val == "" {
+			return fmt.Errorf("faultinject: empty err= value")
+		}
+		f.Err = errors.New(val)
+	case "base":
+		n, err := parseBytes(val)
+		if err != nil {
+			return fmt.Errorf("faultinject: bad base %q: %v", val, err)
+		}
+		f.Base = n
+	case "size":
+		n, err := parseBytes(val)
+		if err != nil || n == 0 {
+			return fmt.Errorf("faultinject: bad size %q (want positive bytes)", val)
+		}
+		f.Size = n
+	case "factor":
+		if f.Kind != Degrade {
+			return fmt.Errorf("faultinject: factor= only applies to degrade clauses")
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil || x <= 1 {
+			return fmt.Errorf("faultinject: bad factor %q (want > 1)", val)
+		}
+		f.Factor = x
+	case "op":
+		if f.Kind != Persistent {
+			return fmt.Errorf("faultinject: op= only applies to persist clauses")
+		}
+		op, ok := opNames[val]
+		if !ok {
+			return fmt.Errorf("faultinject: unknown op %q", val)
+		}
+		f.Op = op
+	default:
+		return fmt.Errorf("faultinject: unknown param %q in %s clause", key, head)
+	}
+	return nil
+}
+
+// validateClause rejects rules that can never fire and kind/param
+// mismatches the per-param checks cannot see.
+func validateClause(f *Fault, head string) error {
+	switch f.Kind {
+	case Transient:
+		if f.Nth == 0 && f.Prob == 0 {
+			return fmt.Errorf("faultinject: %s clause needs nth= or p= to ever fire", head)
+		}
+		if f.Base != 0 || f.Size != 0 {
+			return fmt.Errorf("faultinject: base=/size= only apply to persist/corrupt/degrade clauses")
+		}
+	case Corrupt, Degrade:
+		if f.Nth == 0 && f.Prob == 0 {
+			return fmt.Errorf("faultinject: %s clause needs epoch= or p= to ever fire", head)
+		}
+		if f.Err != nil {
+			return fmt.Errorf("faultinject: err= does not apply to %s clauses (data-plane orders return no error)", head)
+		}
+	}
+	return nil
+}
+
+// parseBytes parses a byte count: decimal or 0x-hex, with an optional
+// k/m/g (KiB/MiB/GiB) suffix on decimal values.
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	if !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "0X") && s != "" {
+		switch s[len(s)-1] {
+		case 'k', 'K':
+			mult, s = 1<<10, s[:len(s)-1]
+		case 'm', 'M':
+			mult, s = 1<<20, s[:len(s)-1]
+		case 'g', 'G':
+			mult, s = 1<<30, s[:len(s)-1]
+		}
+	}
+	n, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if mult > 1 && n > ^uint64(0)/mult {
+		return 0, fmt.Errorf("overflows uint64")
+	}
+	return n * mult, nil
+}
+
+// String renders the schedule in canonical DSL form: a leading seed
+// clause when the seed is non-zero, then one clause per rule in order.
+// ParseSchedule(s.String()) reconstructs an equivalent schedule (rule
+// errors come back as plain errors carrying the same text).
+func (s Schedule) String() string {
+	var b strings.Builder
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "seed=%d", s.Seed)
+	}
+	for i := range s.Faults {
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		writeClause(&b, &s.Faults[i])
+	}
+	return b.String()
+}
+
+func writeClause(b *strings.Builder, f *Fault) {
+	var head string
+	switch f.Kind {
+	case Persistent:
+		head = "persist"
+	case Corrupt:
+		head = "corrupt"
+	case Degrade:
+		head = "degrade"
+	default:
+		head = strings.ToLower(string(f.Op))
+	}
+	b.WriteString(head)
+
+	var params []string
+	add := func(k, v string) { params = append(params, k+"="+v) }
+	if f.Kind == Persistent && f.Op != OpRetier && f.Op != "" {
+		add("op", strings.ToLower(string(f.Op)))
+	}
+	if f.Nth != 0 {
+		if f.Kind == Corrupt || f.Kind == Degrade {
+			add("epoch", strconv.FormatUint(f.Nth, 10))
+		} else {
+			add("nth", strconv.FormatUint(f.Nth, 10))
+		}
+	}
+	if f.Prob != 0 {
+		add("p", strconv.FormatFloat(f.Prob, 'g', -1, 64))
+	}
+	if f.MaxFires != 0 {
+		add("max", strconv.Itoa(f.MaxFires))
+	}
+	if f.Base != 0 {
+		add("base", strconv.FormatUint(f.Base, 10))
+	}
+	if f.Size != 0 {
+		add("size", strconv.FormatUint(f.Size, 10))
+	}
+	if f.Kind == Degrade && f.Factor != 0 && f.Factor != defaultDegradeFactor {
+		add("factor", strconv.FormatFloat(f.Factor, 'g', -1, 64))
+	}
+	if f.Err != nil {
+		add("err", f.Err.Error())
+	}
+	if len(params) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(params, ","))
+	}
+}

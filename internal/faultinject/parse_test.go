@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleIssueExample(t *testing.T) {
+	s, err := ParseSchedule("retier:nth=3;reserve:p=0.01,seed=7,max=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 {
+		t.Errorf("seed %d, want 7", s.Seed)
+	}
+	if len(s.Faults) != 2 {
+		t.Fatalf("got %d faults, want 2", len(s.Faults))
+	}
+	if f := s.Faults[0]; f.Op != OpRetier || f.Nth != 3 || f.Kind != Transient {
+		t.Errorf("fault 0 = %+v", f)
+	}
+	if f := s.Faults[1]; f.Op != OpReserve || f.Prob != 0.01 || f.MaxFires != 5 {
+		t.Errorf("fault 1 = %+v", f)
+	}
+}
+
+func TestParseScheduleKinds(t *testing.T) {
+	s, err := ParseSchedule(
+		"persist:base=1m,size=2m,nth=2;corrupt:epoch=3,base=0x100000,size=64k;degrade:epoch=5,factor=3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 3 {
+		t.Fatalf("got %d faults, want 3", len(s.Faults))
+	}
+	p := s.Faults[0]
+	if p.Kind != Persistent || p.Op != OpRetier || p.Base != 1<<20 || p.Size != 2<<20 || p.Nth != 2 {
+		t.Errorf("persist = %+v", p)
+	}
+	c := s.Faults[1]
+	if c.Kind != Corrupt || c.Nth != 3 || c.Base != 0x100000 || c.Size != 64<<10 {
+		t.Errorf("corrupt = %+v", c)
+	}
+	d := s.Faults[2]
+	if d.Kind != Degrade || d.Nth != 5 || d.Factor != 3.5 {
+		t.Errorf("degrade = %+v", d)
+	}
+}
+
+func TestParseScheduleErrParam(t *testing.T) {
+	s, err := ParseSchedule("reserve:nth=1,err=no capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s)
+	got := in.Check(OpReserve)
+	if !errors.Is(got, ErrInjected) {
+		t.Errorf("not an injected error: %v", got)
+	}
+	if got == nil || !strings.Contains(got.Error(), "no capacity") {
+		t.Errorf("cause text missing: %v", got)
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	bad := []string{
+		"frobnicate:nth=1",       // unknown point
+		"retier",                 // can never fire
+		"retier:wat=1",           // unknown param
+		"retier:p=2",             // probability out of range
+		"retier:nth=0",           // nth must be positive
+		"corrupt:nth=3",          // epoch-driven: must use epoch=
+		"persist:epoch=3",        // epoch= is corrupt/degrade only
+		"retier:base=4096",       // range on a transient rule
+		"corrupt:epoch=1,err=x",  // data-plane orders carry no error
+		"retier:factor=2,nth=1",  // factor is degrade-only
+		"persist:op=frob,nth=1",  // unknown op
+		"reserve:seed=x,nth=1",   // malformed seed
+		"degrade:epoch=1,size=0", // zero size
+	}
+	for _, in := range bad {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	for _, in := range []string{"", "  ", ";;", " ; "} {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", in, err)
+		}
+		if s.Seed != 0 || len(s.Faults) != 0 {
+			t.Errorf("ParseSchedule(%q) = %+v, want zero", in, s)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"retier:nth=3;reserve:p=0.01,seed=7,max=5",
+		"seed=-9;alloc:p=1,max=2;splinter:nth=4",
+		"persist:base=1m,size=2m;corrupt:epoch=3;degrade:p=0.25,factor=8",
+		"reserve:nth=1,err=synthetic cause",
+		"persist:op=splinter,nth=2,p=0.5,max=3,base=4096,size=8192",
+	}
+	for _, in := range inputs {
+		s1, err := ParseSchedule(in)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", in, err)
+		}
+		canon := s1.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", canon, in, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Errorf("round trip diverged:\n in    %q\n canon %q\n again %q", in, canon, got)
+		}
+	}
+}
+
+func TestScheduleStringDefaultsElided(t *testing.T) {
+	s, err := ParseSchedule("degrade:epoch=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults[0].Factor != defaultDegradeFactor {
+		t.Fatalf("default factor = %g", s.Faults[0].Factor)
+	}
+	if got := s.String(); got != "degrade:epoch=2" {
+		t.Errorf("String() = %q, want default factor elided", got)
+	}
+}
+
+// FuzzParseSchedule checks the parser never panics and that every
+// accepted input reaches a canonical fixpoint: String() reparses, and
+// reparsing yields the same canonical string.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("retier:nth=3;reserve:p=0.01,seed=7,max=5")
+	f.Add("seed=42;persist:base=1m,size=2m")
+	f.Add("corrupt:epoch=3,base=0x1000,size=64k;degrade:p=0.5,factor=2.5")
+	f.Add("alloc:err=boom")
+	f.Add(";;retier:nth=1;")
+	f.Add("reserve:p=1e-3")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) rejected: %v", canon, in, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("not a fixpoint:\n in    %q\n canon %q\n again %q", in, canon, got)
+		}
+	})
+}

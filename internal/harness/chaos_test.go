@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+
+	"atmem/internal/memsim"
+)
+
+// TestChaosSoak runs the default chaos-soak scenario end to end.
+// RunChaosSoak enforces the acceptance bars itself (quarantine volume,
+// corruption fully detected and demoted, ledger never re-hosted,
+// bit-identical results); the test pins the shape of the evidence on
+// top.
+func TestChaosSoak(t *testing.T) {
+	sc := DefaultChaosScenario()
+	res, err := RunChaosSoak(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.WarmEpochs + sc.StormEpochs + sc.CoolEpochs
+	if len(res.Epochs) != want {
+		t.Fatalf("recorded %d epochs, want %d", len(res.Epochs), want)
+	}
+
+	fastCap := memsim.NVMDRAMParams().Tiers[memsim.TierFast].CapacityBytes
+	if res.QuarantineTarget != fastCap/20 {
+		t.Errorf("quarantine bar %d, want 5%% of %d", res.QuarantineTarget, fastCap)
+	}
+	if res.Health.Quarantined < res.QuarantineTarget {
+		t.Errorf("quarantined %d < bar %d", res.Health.Quarantined, res.QuarantineTarget)
+	}
+	if res.TargetEpoch == 0 || res.TargetEpoch > sc.WarmEpochs+sc.StormEpochs {
+		t.Errorf("quarantine bar crossed at epoch %d, want during the storm", res.TargetEpoch)
+	}
+	if res.ChaosCRC != res.BaselineCRC {
+		t.Errorf("result CRC %08x != fault-free %08x", res.ChaosCRC, res.BaselineCRC)
+	}
+
+	// The warm (pre-arming) epochs must be clean, and the storm must
+	// leave visible per-epoch evidence.
+	for _, e := range res.Epochs[:sc.WarmEpochs] {
+		if e.Quarantined != 0 || e.Detections != 0 {
+			t.Errorf("warm epoch %d already shows damage: %+v", e.Epoch, e)
+		}
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.Quarantined != res.Health.Quarantined {
+		t.Errorf("last epoch quarantined %d != final stats %d", last.Quarantined, res.Health.Quarantined)
+	}
+	if last.Detections != res.Health.Scrub.Detections || last.Repairs != res.Health.Scrub.Repairs {
+		t.Errorf("last epoch scrub counters %d/%d != final %d/%d",
+			last.Detections, last.Repairs, res.Health.Scrub.Detections, res.Health.Scrub.Repairs)
+	}
+	if res.Health.DegradedRanges == 0 {
+		t.Error("degrade order never applied")
+	}
+	if res.FaultEvents == 0 {
+		t.Error("no fault events recorded")
+	}
+}

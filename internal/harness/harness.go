@@ -322,6 +322,12 @@ type Suite struct {
 	// Async, when set, drives every PolicyATMem run the suite executes
 	// through overlapped background placement (RunConfig.Async).
 	Async bool
+	// Faults, when non-nil, arms this fault-injection schedule on every
+	// run the suite executes that does not carry its own schedule
+	// (atmem-bench -faults). FaultLabel names it in the memoization key
+	// and should be the schedule's canonical DSL string.
+	Faults     *faultinject.Schedule
+	FaultLabel string
 }
 
 // NewSuite builds an empty suite.
@@ -337,6 +343,10 @@ func (s *Suite) Run(cfg RunConfig) (RunResult, error) {
 	}
 	if s.Async && cfg.Policy == atmem.PolicyATMem {
 		cfg.Async = true
+	}
+	if s.Faults != nil && cfg.FaultSchedule == nil {
+		cfg.FaultSchedule = s.Faults
+		cfg.FaultLabel = s.FaultLabel
 	}
 	s.mu.Lock()
 	if r, ok := s.cache[cfg.key()]; ok {

@@ -433,18 +433,22 @@ func (a *Accessor) accessLine(line uint64, write bool) {
 		grainBytes = lineBytes
 		demand = mix64(line)%uint64(a.sys.P.PrefetchDemandInterval) == 0
 	}
+	// Degraded device regions (injected wear faults) multiply the
+	// exposed miss latency. The healthy-path cost is one atomic nil
+	// check inside DegradeFactor, and only misses pay it.
+	deg := a.sys.DegradeFactor(addr)
 	if write {
 		if sequential {
-			a.Cycles += a.storeMissCycles[t] * a.sys.P.PrefetchFactor
+			a.Cycles += a.storeMissCycles[t] * a.sys.P.PrefetchFactor * deg
 		} else {
-			a.Cycles += a.storeMissCycles[t]
+			a.Cycles += a.storeMissCycles[t] * deg
 		}
 		a.WriteBytes[t] += grainBytes
 	} else {
 		if sequential {
-			a.Cycles += a.prefetchedCycles[t]
+			a.Cycles += a.prefetchedCycles[t] * deg
 		} else {
-			a.Cycles += a.loadMissCycles[t]
+			a.Cycles += a.loadMissCycles[t] * deg
 		}
 		a.ReadBytes[t] += grainBytes
 	}

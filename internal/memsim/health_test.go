@@ -1,0 +1,216 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+
+	"atmem/internal/faultinject"
+)
+
+// Tests for the tier-health primitives: the quarantine ledger
+// (RetirePages) and latency degradation (DegradeRange).
+
+func TestRetirePagesShrinksCapacity(t *testing.T) {
+	s := NewSystem(testParams()) // 4 MiB fast tier
+	base, err := s.Alloc(HugePage, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, HugePage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.HealthGen()
+	if err := s.RetirePages(base, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Quarantined(); got != HugePage {
+		t.Errorf("Quarantined() = %d, want %d", got, HugePage)
+	}
+	if s.HealthGen() != gen+1 {
+		t.Errorf("health generation did not advance")
+	}
+	if got := s.FreeCapacity(TierFast); got != 4*MiB-HugePage {
+		t.Errorf("FreeCapacity = %d, want %d", got, 4*MiB-HugePage)
+	}
+	// The charge is permanent: an allocation needing the full tier fails.
+	if _, err := s.Alloc(4*MiB, TierFast); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("full-tier alloc after retirement: %v, want ErrNoCapacity", err)
+	}
+	// But capacity minus the quarantine still allocates.
+	if _, err := s.Alloc(2*MiB, TierFast); err != nil {
+		t.Errorf("alloc within shrunk capacity: %v", err)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetirePagesRequiresEvacuation(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(HugePage, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RetirePages(base, HugePage); err == nil {
+		t.Fatal("retired a fast-mapped range without evacuation")
+	}
+	if s.Quarantined() != 0 {
+		t.Errorf("failed retirement charged %d bytes", s.Quarantined())
+	}
+}
+
+func TestRetierIntoQuarantineFails(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(2*HugePage, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, 2*HugePage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RetirePages(base, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	// Promotion overlapping the quarantine is rejected with the typed
+	// sentinel and no state change.
+	err = s.Retier(base, 2*HugePage, TierFast)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("promotion into quarantine: %v, want ErrQuarantined", err)
+	}
+	if s.Used(TierFast) != 0 {
+		t.Error("rejected promotion moved pages")
+	}
+	// The untouched second huge page still promotes.
+	if err := s.Retier(base+HugePage, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	// Demotion of a quarantine-overlapping range must always pass (the
+	// self-healing path evacuates before retiring).
+	if err := s.Retier(base+HugePage, HugePage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetirePagesOverlapChargesOnce(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(2*HugePage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RetirePages(base, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	// Exact re-retirement: no double charge, no generation bump.
+	gen := s.HealthGen()
+	if err := s.RetirePages(base, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quarantined() != HugePage || s.HealthGen() != gen {
+		t.Errorf("re-retirement charged again: quarantined=%d gen=%d", s.Quarantined(), s.HealthGen())
+	}
+	// Partial overlap charges only the new stretch.
+	if err := s.RetirePages(base+HugePage/2, HugePage); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Quarantined(); got != HugePage+HugePage/2 {
+		t.Errorf("Quarantined() = %d, want %d", got, HugePage+HugePage/2)
+	}
+	if !s.IsQuarantined(base+HugePage, SmallPage) {
+		t.Error("newly covered page not quarantined")
+	}
+	if s.IsQuarantined(base+3*HugePage/2, SmallPage) {
+		t.Error("uncovered page reported quarantined")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegradeFactorComposition(t *testing.T) {
+	s := NewSystem(testParams())
+	if got := s.DegradeFactor(0x1000); got != 1 {
+		t.Fatalf("healthy DegradeFactor = %g", got)
+	}
+	gen := s.HealthGen()
+	s.DegradeRange(0x1000, 0x1000, 3)
+	s.DegradeRange(0x1800, 0x1000, 2)
+	if s.HealthGen() != gen+2 {
+		t.Error("degradations did not advance the health generation")
+	}
+	if got := s.DegradeFactor(0x1000); got != 3 {
+		t.Errorf("single-range factor = %g, want 3", got)
+	}
+	if got := s.DegradeFactor(0x1900); got != 6 {
+		t.Errorf("overlapping factor = %g, want 6", got)
+	}
+	if got := s.DegradeFactor(0x2400); got != 2 {
+		t.Errorf("second-range factor = %g, want 2", got)
+	}
+	if got := s.DegradeFactor(0x3000); got != 1 {
+		t.Errorf("outside factor = %g, want 1", got)
+	}
+	// Ignored installs: zero size, factor <= 1.
+	s.DegradeRange(0x1000, 0, 9)
+	s.DegradeRange(0x1000, 0x1000, 1)
+	if len(s.Degraded()) != 2 {
+		t.Errorf("Degraded() = %v, want 2 ranges", s.Degraded())
+	}
+}
+
+func TestDegradedAccessCostsMore(t *testing.T) {
+	s, fast, _ := accessorFixture(t)
+	// Random-stride loads so every miss is a demand miss, measured
+	// before and after degrading the object's range.
+	run := func() float64 {
+		a := s.NewAccessor()
+		for i := uint64(0); i < 512; i++ {
+			a.Load(fast+(i*7919*64)%(1*MiB), 8)
+		}
+		return a.Cycles
+	}
+	healthy := run()
+	s.DegradeRange(fast, 1*MiB, 8)
+	degraded := run()
+	if degraded <= healthy*2 {
+		t.Errorf("8x degradation barely moved cost: healthy=%.0f degraded=%.0f", healthy, degraded)
+	}
+}
+
+func TestFaultHookSeesPromotionRangeOnly(t *testing.T) {
+	s := NewSystem(testParams())
+	base, err := s.Alloc(HugePage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &rangeRecordingHook{}
+	s.SetFaultHook(hook)
+	if err := s.Retier(base, HugePage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(base, HugePage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.ranges) != 2 {
+		t.Fatalf("hook saw %d calls", len(hook.ranges))
+	}
+	if hook.ranges[0] != [2]uint64{base, HugePage} {
+		t.Errorf("promotion range = %v, want [%#x %#x]", hook.ranges[0], base, HugePage)
+	}
+	if hook.ranges[1] != [2]uint64{0, 0} {
+		t.Errorf("demotion range = %v, want rangeless", hook.ranges[1])
+	}
+}
+
+type rangeRecordingHook struct {
+	ranges [][2]uint64
+}
+
+func (h *rangeRecordingHook) Check(op faultinject.Op) error { return h.CheckRange(op, 0, 0) }
+
+func (h *rangeRecordingHook) CheckRange(op faultinject.Op, base, size uint64) error {
+	h.ranges = append(h.ranges, [2]uint64{base, size})
+	return nil
+}

@@ -15,6 +15,12 @@ import (
 // errors.Is and degrade instead of aborting.
 var ErrNoCapacity = errors.New("memsim: out of capacity")
 
+// ErrQuarantined is the sentinel wrapped by operations that would map
+// data onto retired fast-tier pages. It is a backstop: the governor and
+// plan replayer filter their schedules against the quarantine ledger, so
+// hitting this error means a caller bypassed them.
+var ErrQuarantined = errors.New("memsim: range quarantined")
+
 // FaultHook is consulted on entry of the system's fault-pointed
 // operations (Alloc/AllocPrefer → OpAlloc, Reserve, Retier, Splinter). A
 // non-nil return makes the operation fail before mutating any state —
@@ -23,6 +29,31 @@ var ErrNoCapacity = errors.New("memsim: out of capacity")
 // unwind path must not itself fault.
 type FaultHook interface {
 	Check(op faultinject.Op) error
+}
+
+// RangeFaultHook is optionally implemented by fault hooks that also
+// match the touched address range (persistent device faults pin an
+// injected failure to a range). Address-carrying operations (Retier,
+// Splinter) pass their range through it; hooks without the method fall
+// back to the rangeless Check.
+type RangeFaultHook interface {
+	CheckRange(op faultinject.Op, base, size uint64) error
+}
+
+// QuarantinedRange is one retired stretch of the virtual address space:
+// its pages may never be mapped to the fast tier again, and its size
+// stays charged against fast-tier capacity (the device region behind it
+// is gone for good).
+type QuarantinedRange struct {
+	Base, Size uint64
+}
+
+// DegradedRange is one latency-degraded stretch of the address space:
+// accesses that miss into it cost Factor times the modelled tier
+// latency (a worn device region that still works, slowly).
+type DegradedRange struct {
+	Base, Size uint64
+	Factor     float64
 }
 
 // ShootdownRange is one pending TLB-invalidation request: a migration
@@ -78,6 +109,18 @@ type System struct {
 	// gates → no check).
 	quiesceMu sync.Mutex
 	gates     []*QuiesceGate
+
+	// Quarantine ledger: retired fast-tier ranges. The byte total is
+	// atomic so the lock-free capacity getters can charge it; the range
+	// list is guarded by mu. healthGen counts every health mutation
+	// (retirement, degradation) and keys plan-staleness fingerprints.
+	quarantined atomic.Uint64
+	quarRanges  []QuarantinedRange
+	healthGen   atomic.Uint64
+
+	// Degraded ranges, published as an immutable slice so the accessor
+	// miss path reads them with one atomic load (nil means none).
+	degrades atomic.Pointer[[]DegradedRange]
 }
 
 // sync word layout: shootdown generation in the low syncGenBits bits,
@@ -119,6 +162,20 @@ func (s *System) SetFaultHook(h FaultHook) {
 func (s *System) faultCheckLocked(op faultinject.Op) error {
 	if s.faults == nil {
 		return nil
+	}
+	return s.faults.Check(op)
+}
+
+// faultCheckRangeLocked evaluates the fault hook for an address-carrying
+// operation. Hooks implementing RangeFaultHook see the touched range (so
+// persistent range rules can match); others get a plain Check. Callers
+// hold s.mu.
+func (s *System) faultCheckRangeLocked(op faultinject.Op, base, size uint64) error {
+	if s.faults == nil {
+		return nil
+	}
+	if rh, ok := s.faults.(RangeFaultHook); ok {
+		return rh.CheckRange(op, base, size)
 	}
 	return s.faults.Check(op)
 }
@@ -274,7 +331,14 @@ func (s *System) Free(base, size uint64) error {
 func (s *System) Retier(base, size uint64, t Tier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.faultCheckLocked(faultinject.OpRetier); err != nil {
+	// The fault hook sees the touched range only when data moves toward
+	// the fast tier: a persistent fault models a bad fast-tier device
+	// region, and evacuating data off it must stay possible.
+	fb, fs := base, size
+	if t != TierFast {
+		fb, fs = 0, 0
+	}
+	if err := s.faultCheckRangeLocked(faultinject.OpRetier, fb, fs); err != nil {
 		return err
 	}
 	return s.retierLocked(base, size, t)
@@ -283,6 +347,9 @@ func (s *System) Retier(base, size uint64, t Tier) error {
 func (s *System) retierLocked(base, size uint64, t Tier) error {
 	if base%SmallPage != 0 || size%SmallPage != 0 {
 		return fmt.Errorf("memsim: Retier [%#x,+%#x) not page-aligned", base, size)
+	}
+	if t == TierFast && s.quarOverlapLocked(base, size) {
+		return fmt.Errorf("%w: retier [%#x,+%#x) toward %s", ErrQuarantined, base, size, t)
 	}
 	first, n := base>>smallShift, size>>smallShift
 	var moving uint64
@@ -320,16 +387,22 @@ func (s *System) retierLocked(base, size uint64, t Tier) error {
 func (s *System) Splinter(base, size uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.faultCheckLocked(faultinject.OpSplinter); err != nil {
+	if err := s.faultCheckRangeLocked(faultinject.OpSplinter, base, size); err != nil {
 		return err
 	}
 	return s.pt.Splinter(base, size)
 }
 
-// committedLocked is the capacity charge against tier t: mapped bytes
-// plus outstanding reservations. Callers hold s.mu.
+// committedLocked is the capacity charge against tier t: mapped bytes,
+// outstanding reservations, and — on the fast tier — quarantined bytes,
+// so every capacity check automatically sees retired pages as capacity
+// that no longer exists. Callers hold s.mu.
 func (s *System) committedLocked(t Tier) uint64 {
-	return s.used[t].Load() + s.reserved[t].Load()
+	c := s.used[t].Load() + s.reserved[t].Load()
+	if t == TierFast {
+		c += s.quarantined.Load()
+	}
+	return c
 }
 
 // Reserve charges size bytes against tier t without mapping anything —
@@ -378,9 +451,13 @@ func (s *System) TierUsage(t Tier) (mapped, reserved uint64) {
 	return s.used[t].Load(), s.reserved[t].Load()
 }
 
-// FreeCapacity returns the free capacity remaining on tier t.
+// FreeCapacity returns the free capacity remaining on tier t, after
+// mapped bytes, reservations, and (fast tier) quarantined bytes.
 func (s *System) FreeCapacity(t Tier) uint64 {
 	committed := s.used[t].Load() + s.reserved[t].Load()
+	if t == TierFast {
+		committed += s.quarantined.Load()
+	}
 	cap := s.P.Tiers[t].CapacityBytes
 	if committed > cap {
 		return 0
@@ -390,11 +467,16 @@ func (s *System) FreeCapacity(t Tier) uint64 {
 
 // EffectiveOccupancy returns committed bytes on tier t as a fraction of
 // the tier's capacity after subtracting holdback bytes (a caller-owned
-// reserve, e.g. the runtime's CapacityReserve). The governor compares
-// this against its watermarks. Occupancy of a fully-held-back tier is
-// reported as 1 (maximally pressured), and the fraction may exceed 1
-// when committed bytes eat into the holdback.
+// reserve, e.g. the runtime's CapacityReserve) and, on the fast tier,
+// quarantined bytes — retired pages shrink the denominator, so pressure
+// rises as the device loses capacity. The governor compares this against
+// its watermarks. Occupancy of a fully-held-back tier is reported as 1
+// (maximally pressured), and the fraction may exceed 1 when committed
+// bytes eat into the holdback.
 func (s *System) EffectiveOccupancy(t Tier, holdback uint64) float64 {
+	if t == TierFast {
+		holdback += s.quarantined.Load()
+	}
 	cap := s.P.Tiers[t].CapacityBytes
 	if cap <= holdback {
 		return 1
@@ -589,9 +671,168 @@ func (s *System) quiesceWait(addr uint64) int {
 	return waited
 }
 
+// quarOverlapLocked reports whether [base, base+size) intersects any
+// quarantined range. Callers hold s.mu.
+func (s *System) quarOverlapLocked(base, size uint64) bool {
+	for _, q := range s.quarRanges {
+		if base < q.Base+q.Size && q.Base < base+size {
+			return true
+		}
+	}
+	return false
+}
+
+// RetirePages quarantines the page-aligned range [base, base+size): its
+// pages may never be mapped to the fast tier again, and the bytes stay
+// charged against fast-tier capacity forever (the device region is
+// gone). Every page of the range must already be off the fast tier —
+// evacuate first, retire second — and the charge must fit the remaining
+// capacity. Already-quarantined stretches of the range are skipped, so
+// overlapping retirements (scoreboard and scrubber condemning the same
+// granule) are safe. Each retirement bumps the health generation.
+func (s *System) RetirePages(base, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base%SmallPage != 0 || size%SmallPage != 0 {
+		return fmt.Errorf("memsim: RetirePages [%#x,+%#x) not page-aligned", base, size)
+	}
+	if size == 0 {
+		return nil
+	}
+	first, n := base>>smallShift, size>>smallShift
+	for i := first; i < first+n; i++ {
+		pi, err := s.pt.lookup(i)
+		if err != nil {
+			continue // never-mapped stretches of a device range retire fine
+		}
+		if pi.Mapped && pi.Tier == TierFast {
+			return fmt.Errorf("memsim: RetirePages [%#x,+%#x): page %#x still fast-mapped; evacuate before retiring",
+				base, size, i<<smallShift)
+		}
+	}
+	// Clip out stretches already retired; charge and record the rest.
+	adds := s.quarSubtractLocked(base, size)
+	var adding uint64
+	for _, add := range adds {
+		adding += add.Size
+	}
+	if adding == 0 {
+		return nil
+	}
+	if s.committedLocked(TierFast)+adding > s.P.Tiers[TierFast].CapacityBytes {
+		return fmt.Errorf("%w: tier %s: retiring %d bytes", ErrNoCapacity, TierFast, adding)
+	}
+	s.quarRanges = append(s.quarRanges, adds...)
+	s.quarantined.Add(adding)
+	s.healthGen.Add(1)
+	return nil
+}
+
+// quarSubtractLocked returns the sub-ranges of [base, base+size) not yet
+// covered by the quarantine ledger. Callers hold s.mu.
+func (s *System) quarSubtractLocked(base, size uint64) []QuarantinedRange {
+	pending := []QuarantinedRange{{Base: base, Size: size}}
+	for _, q := range s.quarRanges {
+		var next []QuarantinedRange
+		for _, p := range pending {
+			if p.Base >= q.Base+q.Size || q.Base >= p.Base+p.Size {
+				next = append(next, p)
+				continue
+			}
+			if p.Base < q.Base {
+				next = append(next, QuarantinedRange{Base: p.Base, Size: q.Base - p.Base})
+			}
+			if p.Base+p.Size > q.Base+q.Size {
+				next = append(next, QuarantinedRange{Base: q.Base + q.Size, Size: p.Base + p.Size - (q.Base + q.Size)})
+			}
+		}
+		pending = next
+	}
+	return pending
+}
+
+// Quarantined returns the total bytes retired from the fast tier. It is
+// a lock-free atomic read, safe from any thread.
+func (s *System) Quarantined() uint64 { return s.quarantined.Load() }
+
+// QuarantinedRanges returns a copy of the quarantine ledger, in
+// retirement order.
+func (s *System) QuarantinedRanges() []QuarantinedRange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuarantinedRange, len(s.quarRanges))
+	copy(out, s.quarRanges)
+	return out
+}
+
+// IsQuarantined reports whether any page of [base, base+size) is
+// retired. The governor and plan replayer consult it before scheduling
+// a promotion.
+func (s *System) IsQuarantined(base, size uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarOverlapLocked(base, size)
+}
+
+// HealthGen returns the health generation: a counter bumped on every
+// page retirement and range degradation. Compiled-plan signatures embed
+// it, so any health change makes a recorded plan stale (the plan was
+// recorded against capacity that no longer exists). Lock-free.
+func (s *System) HealthGen() uint64 { return s.healthGen.Load() }
+
+// DegradeRange installs a latency degradation over [base, base+size):
+// accesses missing into the range cost factor times the modelled
+// latency from now on. Overlapping degradations compound (each matching
+// range contributes its factor). Factors at or below 1 are ignored.
+func (s *System) DegradeRange(base, size uint64, factor float64) {
+	if size == 0 || factor <= 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var next []DegradedRange
+	if cur := s.degrades.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, DegradedRange{Base: base, Size: size, Factor: factor})
+	s.degrades.Store(&next)
+	s.healthGen.Add(1)
+}
+
+// DegradeFactor returns the combined latency multiplier for addr (1 when
+// the address is healthy). One atomic load on the common no-degradation
+// path; accessors call it only on cache misses.
+func (s *System) DegradeFactor(addr uint64) float64 {
+	p := s.degrades.Load()
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, d := range *p {
+		if addr >= d.Base && addr < d.Base+d.Size {
+			f *= d.Factor
+		}
+	}
+	return f
+}
+
+// Degraded returns a copy of the installed degradations, in install
+// order.
+func (s *System) Degraded() []DegradedRange {
+	p := s.degrades.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]DegradedRange, len(*p))
+	copy(out, *p)
+	return out
+}
+
 // CheckConsistency verifies the capacity-accounting invariants: the page
-// table's per-tier mapped-byte totals match the used ledger, and no tier
-// is committed beyond its capacity. The runtime's post-migration
+// table's per-tier mapped-byte totals match the used ledger, the
+// quarantine ledger's byte total matches its ranges and covers no
+// fast-mapped page, and no tier is committed (mapped + reserved +
+// quarantined) beyond its capacity. The runtime's post-migration
 // invariant checker calls it after every Optimize.
 func (s *System) CheckConsistency() error {
 	s.mu.Lock()
@@ -610,9 +851,27 @@ func (s *System) CheckConsistency() error {
 				t, mapped[t], s.used[t].Load())
 		}
 		if s.committedLocked(t) > s.P.Tiers[t].CapacityBytes {
-			return fmt.Errorf("memsim: tier %s over-committed: %d mapped + %d reserved > %d capacity",
-				t, s.used[t].Load(), s.reserved[t].Load(), s.P.Tiers[t].CapacityBytes)
+			return fmt.Errorf("memsim: tier %s over-committed: %d mapped + %d reserved + %d quarantined > %d capacity",
+				t, s.used[t].Load(), s.reserved[t].Load(), s.quarantined.Load(), s.P.Tiers[t].CapacityBytes)
 		}
+	}
+	var quarTotal uint64
+	for _, q := range s.quarRanges {
+		quarTotal += q.Size
+		first, n := q.Base>>smallShift, q.Size>>smallShift
+		for i := first; i < first+n; i++ {
+			pi, err := s.pt.lookup(i)
+			if err != nil {
+				continue
+			}
+			if pi.Mapped && pi.Tier == TierFast {
+				return fmt.Errorf("memsim: quarantined page %#x is fast-mapped", i<<smallShift)
+			}
+		}
+	}
+	if quarTotal != s.quarantined.Load() {
+		return fmt.Errorf("memsim: quarantine drift: ranges cover %d bytes, ledger says %d",
+			quarTotal, s.quarantined.Load())
 	}
 	return nil
 }

@@ -18,6 +18,9 @@ type ATMemEngine struct {
 	// are migrated in staging-sized slices so the mechanism works even
 	// when the target tier is nearly full. 0 means 8 MiB.
 	StagingBytes uint64
+	// Retry shapes the per-region degradation ladder; the zero value is
+	// the historical unbounded halving ladder down to one small page.
+	Retry RetryPolicy
 	// Sink, when non-nil, observes per-region attempt/rollback/outcome
 	// events (see SetEventSink).
 	Sink EventSink
@@ -139,13 +142,14 @@ func (e *ATMemEngine) migrateRegion(ctx context.Context, sys *memsim.System, r R
 				StagingBytes: stg, Seconds: st.Seconds, Err: err})
 			return out, nil
 		}
-		if stg <= memsim.SmallPage {
+		next, more := e.Retry.NextStaging(stg)
+		if !more || e.Retry.Exhausted(out.Attempts, 0) {
 			out.Outcome = OutcomeSkipped
 			e.emit(Event{Kind: EventSkipped, Region: r, Attempt: out.Attempts,
 				StagingBytes: stg, Seconds: st.Seconds, Err: err})
 			return out, nil
 		}
-		stg = memsim.RoundUp(stg/2, memsim.SmallPage)
+		stg = next
 	}
 }
 

@@ -18,6 +18,9 @@ type MbindEngine struct {
 	// ShootdownBatchPages is how many pages the kernel unmaps between
 	// TLB shootdown IPIs. 0 means 512 (one PMD's worth).
 	ShootdownBatchPages int
+	// Retry shapes the per-region retry ladder; the zero value is the
+	// historical one-retry (two attempts) behaviour.
+	Retry RetryPolicy
 	// Sink, when non-nil, observes per-region attempt/rollback/outcome
 	// events (see SetEventSink).
 	Sink EventSink
@@ -76,7 +79,7 @@ func (e *MbindEngine) Migrate(ctx context.Context, sys *memsim.System, regions [
 
 		out := RegionOutcome{Region: r}
 		var ferr error
-		for attempt := 0; attempt < 2; attempt++ {
+		for {
 			out.Attempts++
 			e.emit(Event{Kind: EventAttempt, Region: r, Attempt: out.Attempts,
 				Seconds: st.Seconds})
@@ -87,6 +90,9 @@ func (e *MbindEngine) Migrate(ctx context.Context, sys *memsim.System, regions [
 			// a failed attempt left the region in place (kernel-atomic).
 			e.emit(Event{Kind: EventRollback, Region: r, Attempt: out.Attempts,
 				Seconds: st.Seconds, Err: ferr})
+			if e.Retry.Exhausted(out.Attempts, 2) {
+				break
+			}
 		}
 		if ferr != nil {
 			out.Outcome = OutcomeSkipped

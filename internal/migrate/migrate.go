@@ -45,6 +45,49 @@ type Region struct {
 	Size uint64
 }
 
+// RetryPolicy parameterizes the per-region degradation ladder the
+// engines (and the runtime's emergency-demotion path) walk when a
+// migration attempt fails. The zero value reproduces each engine's
+// historical behaviour: the ATMem engine halves its staging buffer down
+// to one small page with no attempt cap, and the mbind engine gives a
+// region one syscall-style retry (two attempts) before skipping it.
+type RetryPolicy struct {
+	// MaxAttempts bounds attempts per region; 0 means the engine
+	// default (unbounded for atmem — the staging floor terminates the
+	// ladder — and 2 for mbind).
+	MaxAttempts int
+	// MinStaging is the floor the ATMem engine halves its staging
+	// buffer down to; 0 means one small page. Rounded up to a page.
+	MinStaging uint64
+}
+
+// Exhausted reports whether the ladder must stop after the given number
+// of attempts, given the engine's default cap.
+func (rp RetryPolicy) Exhausted(attempts, engineDefault int) bool {
+	limit := rp.MaxAttempts
+	if limit == 0 {
+		limit = engineDefault
+	}
+	return limit > 0 && attempts >= limit
+}
+
+// NextStaging returns the next rung down the staging ladder, or false
+// when the current size has reached the floor.
+func (rp RetryPolicy) NextStaging(stg uint64) (uint64, bool) {
+	floor := memsim.RoundUp(rp.MinStaging, memsim.SmallPage)
+	if floor == 0 {
+		floor = memsim.SmallPage
+	}
+	if stg <= floor {
+		return 0, false
+	}
+	next := memsim.RoundUp(stg/2, memsim.SmallPage)
+	if next < floor {
+		next = floor
+	}
+	return next, true
+}
+
 // Outcome classifies how one region fared under the transactional
 // migration protocol.
 type Outcome int

@@ -1,0 +1,86 @@
+package migrate
+
+import (
+	"context"
+	"testing"
+
+	"atmem/internal/faultinject"
+	"atmem/internal/memsim"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	var rp RetryPolicy
+	// Zero value: unbounded when the engine default is 0 (atmem),
+	// capped at the engine default otherwise (mbind's 2).
+	if rp.Exhausted(100, 0) {
+		t.Error("zero policy exhausted under unbounded engine default")
+	}
+	if rp.Exhausted(1, 2) || !rp.Exhausted(2, 2) {
+		t.Error("zero policy does not reproduce the two-attempt mbind ladder")
+	}
+	// The staging ladder halves down to one small page.
+	sizes := []uint64{}
+	for stg := uint64(8 * memsim.SmallPage); ; {
+		next, more := rp.NextStaging(stg)
+		if !more {
+			break
+		}
+		sizes = append(sizes, next)
+		stg = next
+	}
+	want := []uint64{4 * memsim.SmallPage, 2 * memsim.SmallPage, memsim.SmallPage}
+	if len(sizes) != len(want) {
+		t.Fatalf("ladder = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRetryPolicyCustomFloorAndCap(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 3, MinStaging: 4 * memsim.SmallPage}
+	if !rp.Exhausted(3, 0) || rp.Exhausted(2, 0) {
+		t.Error("MaxAttempts override not honoured")
+	}
+	if _, more := rp.NextStaging(4 * memsim.SmallPage); more {
+		t.Error("ladder descended below MinStaging")
+	}
+	if next, more := rp.NextStaging(6 * memsim.SmallPage); !more || next != 4*memsim.SmallPage {
+		t.Errorf("NextStaging clamped wrong: %d, %t", next, more)
+	}
+}
+
+// TestRetryPolicyBoundsEngineAttempts arms a persistent fault over the
+// target range so every attempt fails, and checks both engines stop at
+// the policy's attempt cap instead of walking their full default ladder.
+func TestRetryPolicyBoundsEngineAttempts(t *testing.T) {
+	for _, mk := range []func(RetryPolicy) Engine{
+		func(rp RetryPolicy) Engine { return &ATMemEngine{StagingBytes: 64 * memsim.SmallPage, Retry: rp} },
+		func(rp RetryPolicy) Engine { return &MbindEngine{Retry: rp} },
+	} {
+		e := mk(RetryPolicy{MaxAttempts: 1})
+		s := testSystem(t)
+		base, err := s.Alloc(memsim.HugePage, memsim.TierSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaultHook(faultinject.New(faultinject.Schedule{Faults: []faultinject.Fault{
+			{Kind: faultinject.Persistent, Op: faultinject.OpRetier, Base: base, Size: memsim.HugePage},
+		}}))
+		st, err := e.Migrate(context.Background(), s, []Region{{Base: base, Size: memsim.HugePage}}, memsim.TierFast)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if st.RegionsSkipped != 1 {
+			t.Errorf("%s: skipped %d regions, want 1", e.Name(), st.RegionsSkipped)
+		}
+		if got := st.Outcomes[0].Attempts; got != 1 {
+			t.Errorf("%s: %d attempts, want 1 (MaxAttempts)", e.Name(), got)
+		}
+		if on := s.BytesOnTier(base, memsim.HugePage); on[memsim.TierFast] != 0 {
+			t.Errorf("%s: persistent-faulted region reached the fast tier", e.Name())
+		}
+	}
+}

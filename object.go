@@ -82,11 +82,19 @@ func NewArray[T Element](rt *Runtime, name string, n int) (*Array[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Array[T]{
+	a := &Array[T]{
 		obj:      obj,
 		elems:    make([]T, n),
 		elemSize: es,
-	}, nil
+	}
+	if n > 0 {
+		// Alias the object's byte backing to the array storage, so the
+		// CRC scrubber, injected corruption, and checksum invariants all
+		// operate on the bytes kernels actually compute on, not a
+		// shadow buffer.
+		obj.data = unsafe.Slice((*byte)(unsafe.Pointer(&a.elems[0])), es*uint64(n))
+	}
+	return a, nil
 }
 
 // Free releases the array's simulated allocation.

@@ -9,6 +9,8 @@ package atmem
 import (
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
+	"atmem/internal/health"
+	"atmem/internal/migrate"
 	"atmem/internal/telemetry"
 )
 
@@ -115,6 +117,39 @@ func WithAsyncPlacement(a AsyncOptions) Option {
 // share recorded plans.
 func WithPlanCache(pc *core.PlanCache) Option {
 	return func(o *Options) { o.PlanCache = pc }
+}
+
+// WithHealthPolicy enables the tier-health scoreboard under the given
+// policy (see Options.Health): promotion failures and CRC detections
+// feed per-granule error windows, granules in backoff are excluded from
+// promotion, and granules crossing the persistence threshold are
+// evacuated and retired into the quarantine ledger. Zero policy fields
+// take the health package defaults.
+func WithHealthPolicy(p health.Policy) Option {
+	return func(o *Options) {
+		o.Health.Enabled = true
+		o.Health.Policy = p
+	}
+}
+
+// WithScrubber enables the between-epoch CRC-32C scrubber on top of the
+// health scoreboard (see Options.Health.Scrub): fast-resident chunks
+// are checksummed after each governed epoch's migration and verified
+// before the next epoch's kernels run; a mismatch is repaired from the
+// scrubber's backup, the chunk emergency-demoted, and its pages
+// retired.
+func WithScrubber() Option {
+	return func(o *Options) {
+		o.Health.Enabled = true
+		o.Health.Scrub = true
+	}
+}
+
+// WithRetryPolicy overrides the per-region degradation ladder shared by
+// both migration engines and the scrubber's emergency demotion (see
+// Options.Retry).
+func WithRetryPolicy(rp migrate.RetryPolicy) Option {
+	return func(o *Options) { o.Retry = rp }
 }
 
 // WithOptions merges a whole Options struct, for callers migrating from

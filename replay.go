@@ -44,6 +44,7 @@ func (r *Runtime) BuildSignature(graphName string, graphCRC uint32, kernels []st
 		Testbed:  r.testbedFingerprint(),
 		Policy:   r.policyFingerprint(),
 		Governor: r.govCfg.Fingerprint(),
+		Health:   r.healthFingerprint(),
 	}
 }
 
@@ -165,6 +166,13 @@ func (r *Runtime) runEpochReplay(ctx context.Context, name string, body func()) 
 	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "replay": true})
 	rep := EpochReport{Epoch: r.epoch, Replayed: true}
 	phaseStart := len(r.phases)
+	// Replay runs the same epoch-start health pass as the online loop: a
+	// fault storm during replay must degrade per-region exactly like the
+	// recorded run would have.
+	if herr := r.beginEpochHealth(0); herr != nil {
+		r.rec.End(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "replay": true, "error": herr.Error()})
+		return rep, herr
+	}
 	body()
 	rep.Phases = append(rep.Phases, r.phases[phaseStart:]...)
 
@@ -172,6 +180,9 @@ func (r *Runtime) runEpochReplay(ctx context.Context, name string, body func()) 
 	if r.planEpoch <= r.armedPlan.Epochs {
 		rep.Optimized = true
 		rep.Migration, err = r.applyPlanEpoch(ctx, r.planEpoch)
+	}
+	if err == nil {
+		err = r.endEpochHealth(0)
 	}
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
@@ -198,6 +209,9 @@ func (r *Runtime) applyPlanEpoch(ctx context.Context, epoch int) (MigrationRepor
 	for _, st := range promos {
 		sched.Promotions = append(sched.Promotions, migrate.Region{Base: st.Base, Size: st.Size})
 	}
+	// The health veto applies on replay too: pages quarantined since the
+	// recording must never receive a replayed promotion.
+	sched.Promotions = r.filterPromotions(0, sched.Promotions)
 
 	// Replay bypasses the breaker (the recorded run already paid for the
 	// decisions) but reports through the same governed-report shape.

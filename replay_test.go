@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"atmem/internal/core"
+	"atmem/internal/faultinject"
 	"atmem/internal/memsim"
 )
 
@@ -193,6 +194,150 @@ func TestPlanStaleFallsBackOnline(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestPlanStaleAfterQuarantine pins the health half of the staleness
+// contract: a plan recorded on healthy memory must not replay once
+// pages have been quarantined — the cached schedule could land a
+// promotion on retired pages. The quarantine bumps the health
+// generation, the signature's Health field changes, and the lookup
+// degrades to stale with a clean online fallback.
+func TestPlanStaleAfterQuarantine(t *testing.T) {
+	pc := core.NewPlanCache()
+
+	rec, hot := replayFixture(t, pc)
+	sig := rec.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if v, err := rec.ArmPlan(sig); err != nil || v != core.LookupMiss {
+		t.Fatalf("recording ArmPlan = (%v, %v), want miss", v, err)
+	}
+	epochOn(t, rec, "e1", hot)
+	if _, err := rec.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An identically-built runtime would hit — until part of the hot
+	// array's range (which the recorded plan promotes) is retired.
+	rt, hot2 := replayFixture(t, pc)
+	quarBase, quarSize := hot2.Object().Base(), uint64(64<<10)
+	if err := rt.System().RetirePages(quarBase, quarSize); err != nil {
+		t.Fatal(err)
+	}
+	sig2 := rt.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if sig2.Key() == sig.Key() {
+		t.Fatal("quarantine did not change the signature key")
+	}
+	v, err := rt.ArmPlan(sig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.LookupStale {
+		t.Fatalf("post-quarantine verdict = %v, want stale", v)
+	}
+	if rt.Replaying() {
+		t.Fatal("stale plan was armed for replay despite quarantine")
+	}
+
+	// The fallback runs the online loop, and its governor must route
+	// the hot set around the retired pages: nothing may be promoted
+	// into the quarantined range, ever.
+	er := epochOn(t, rt, "e1", hot2)
+	if !er.Optimized || er.Replayed {
+		t.Fatalf("fallback epoch did not run the online loop: %+v", er)
+	}
+	if on := rt.System().BytesOnTier(quarBase, quarSize); on[memsim.TierFast] != 0 {
+		t.Errorf("%d bytes promoted into the quarantined range", on[memsim.TierFast])
+	}
+	if !rt.System().IsQuarantined(quarBase, quarSize) {
+		t.Error("quarantine ledger lost the retired range")
+	}
+	assertDataIntact(t, "post-quarantine hot", hot2, 7)
+	if err := rt.System().CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if _, err := rt.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayFaultStormMatchesOnline drives the same persistent fault
+// storm through an online run and a replayed run of the same recorded
+// plan: both must degrade per-region through the transactional engine
+// (skips, not errors), end on the identical tier layout, and leave the
+// data bit-identical.
+func TestReplayFaultStormMatchesOnline(t *testing.T) {
+	pc := core.NewPlanCache()
+
+	rec, hot := replayFixture(t, pc)
+	sig := rec.BuildSignature("synthetic", 0x1234, []string{"scan"})
+	if _, err := rec.ArmPlan(sig); err != nil {
+		t.Fatal(err)
+	}
+	epochOn(t, rec, "e1", hot)
+	if _, err := rec.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storm covering every registered byte: no promotion can commit in
+	// either mode. Fixtures allocate deterministically, so both runs see
+	// the same addresses and the same fault geometry.
+	storm := func(rt *Runtime) {
+		for _, o := range rt.Objects() {
+			rt.ArmFaults(faultinject.Fault{
+				Kind: faultinject.Persistent, Op: faultinject.OpRetier,
+				Base: o.Base(), Size: o.Size(),
+			})
+		}
+	}
+
+	online, hotA := replayFixture(t, core.NewPlanCache())
+	storm(online)
+	onlineRep, err := online.RunEpoch("e1", func() { scanPhase(online, "e1", hotA) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay, hotB := replayFixture(t, pc)
+	storm(replay)
+	if v, err := replay.ArmPlan(replay.BuildSignature("synthetic", 0x1234, []string{"scan"})); err != nil || v != core.LookupHit {
+		t.Fatalf("replay ArmPlan = (%v, %v), want hit", v, err)
+	}
+	replayRep, err := replay.RunEpoch("e1", func() { scanPhase(replay, "e1", hotB) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayRep.Replayed {
+		t.Fatal("storm epoch not replayed")
+	}
+	if _, err := replay.FinishPlan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both modes degraded per-region: promotions were attempted and
+	// skipped, nothing moved, no error surfaced.
+	om, rm := onlineRep.Migration, replayRep.Migration
+	if om.RegionsSkipped == 0 || rm.RegionsSkipped == 0 {
+		t.Fatalf("storm did not degrade: online skipped %d, replay skipped %d",
+			om.RegionsSkipped, rm.RegionsSkipped)
+	}
+	if om.RegionsSkipped != rm.RegionsSkipped || om.BytesMoved != 0 || rm.BytesMoved != 0 {
+		t.Errorf("outcomes diverged: online {skipped %d, moved %d}, replay {skipped %d, moved %d}",
+			om.RegionsSkipped, om.BytesMoved, rm.RegionsSkipped, rm.BytesMoved)
+	}
+	// Identical end state: every object on the identical tiers, data
+	// bit-identical to the deterministic fill in both modes.
+	onLayout, reLayout := tierLayout(online), tierLayout(replay)
+	for name, want := range onLayout {
+		if reLayout[name] != want {
+			t.Errorf("object %q layout online %v != replay %v", name, want, reLayout[name])
+		}
+	}
+	assertDataIntact(t, "online under storm", hotA, 7)
+	assertDataIntact(t, "replay under storm", hotB, 7)
+	for _, rt := range []*Runtime{online, replay} {
+		if err := rt.System().CheckConsistency(); err != nil {
+			t.Error(err)
+		}
 	}
 }
 

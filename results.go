@@ -97,6 +97,49 @@ type MigrationReport struct {
 	// ResidentBytes is the fast-resident footprint the governor tracks
 	// after the epoch.
 	ResidentBytes uint64
+
+	// Health summarizes the tier-health subsystem (zero unless faults,
+	// health, or the scrubber are active).
+	Health HealthReport
+}
+
+// HealthReport is the tier-health slice of a MigrationReport: the
+// quarantine ledger, scrubber activity, and self-healing actions
+// accumulated over the runtime's lifetime (cumulative, not per-epoch —
+// the ledger only grows).
+type HealthReport struct {
+	// QuarantinedBytes is the fast-tier capacity retired so far;
+	// QuarantinedRanges counts the ledger's disjoint ranges.
+	QuarantinedBytes  uint64
+	QuarantinedRanges int
+	// CorruptedChunks counts chunks hit by injected corruption orders;
+	// CorruptionsDetected and CorruptionsRepaired count the scrubber's
+	// CRC mismatches and backup restores.
+	CorruptedChunks     int
+	CorruptionsDetected int
+	CorruptionsRepaired int
+	// EmergencyDemotions counts chunks the scrub repair path demoted off
+	// failing fast pages.
+	EmergencyDemotions int
+	// PromotionsVetoed counts promotion regions dropped because their
+	// target granules were quarantined or distrusted.
+	PromotionsVetoed int
+	// RetiredRanges counts successful page retirements.
+	RetiredRanges int
+	// CondemnedGranules and SuspectGranules are the scoreboard's current
+	// persistent-bad and in-backoff counts.
+	CondemnedGranules int
+	SuspectGranules   int
+	// ScrubbedBytes totals the scrubber's verify traffic.
+	ScrubbedBytes uint64
+	// DegradedRanges counts latency-degradation orders applied.
+	DegradedRanges int
+}
+
+// Active reports whether the health subsystem did anything worth
+// printing.
+func (h HealthReport) Active() bool {
+	return h != HealthReport{}
 }
 
 // DataRatio is SelectedBytes/TotalBytes — the x-axis of Figures 7–10.
@@ -132,6 +175,12 @@ func (m MigrationReport) String() string {
 			s += fmt.Sprintf(" (+%d/-%d bytes, %d resident)",
 				m.PromotedBytes, m.DemotedBytes, m.ResidentBytes)
 		}
+	}
+	if h := m.Health; h.Active() {
+		s += fmt.Sprintf("; health: %d B quarantined (%d ranges), %d corruptions detected/%d repaired, %d emergency demotions, %d promotions vetoed",
+			h.QuarantinedBytes, h.QuarantinedRanges,
+			h.CorruptionsDetected, h.CorruptionsRepaired,
+			h.EmergencyDemotions, h.PromotionsVetoed)
 	}
 	return s
 }
@@ -175,7 +224,34 @@ func (r *Runtime) migrationReport() MigrationReport {
 		rep.PressureDemotedBytes = r.gov.pressureBytes
 		rep.ResidentBytes = r.gov.residentBytes
 	}
+	rep.Health = r.healthReport()
 	return rep
+}
+
+// healthReport assembles the HealthReport from the ledger, scrubber,
+// scoreboard, and runtime counters.
+func (r *Runtime) healthReport() HealthReport {
+	h := HealthReport{
+		QuarantinedBytes:   r.sys.Quarantined(),
+		QuarantinedRanges:  len(r.sys.QuarantinedRanges()),
+		CorruptedChunks:    r.heal.corruptedChunks,
+		EmergencyDemotions: r.heal.emergencyDemotions,
+		PromotionsVetoed:   r.heal.promotionsVetoed,
+		RetiredRanges:      r.heal.retiredRanges,
+		DegradedRanges:     r.heal.degradeOrders,
+	}
+	if r.scrub != nil {
+		st := r.scrub.Stats()
+		h.CorruptionsDetected = st.Detections
+		h.CorruptionsRepaired = st.Repairs
+		h.ScrubbedBytes = st.BytesScrubbed
+	}
+	if r.board != nil {
+		st := r.board.Stats()
+		h.CondemnedGranules = st.Condemned
+		h.SuspectGranules = st.Suspect
+	}
+	return h
 }
 
 // LastMigration returns the report of the most recent Optimize, or a zero

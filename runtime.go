@@ -11,6 +11,7 @@ import (
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
 	"atmem/internal/governor"
+	"atmem/internal/health"
 	"atmem/internal/memsim"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
@@ -61,6 +62,14 @@ type Runtime struct {
 	planEpoch   int
 	planVerdict core.LookupVerdict
 
+	// Tier-health state (see health.go). board scores per-granule
+	// errors and decides trust; scrub holds the CRC references and
+	// backups of fast-resident chunks; heal accumulates the
+	// self-healing counters surfaced on MigrationReport.Health.
+	board *health.Scoreboard
+	scrub *health.Scrubber
+	heal  healthCounters
+
 	// Telemetry state (see telemetry.go). simNS is the simulated-clock
 	// cursor in nanoseconds, advanced by phase wall time and modelled
 	// migration time; rec is nil when telemetry is off.
@@ -69,6 +78,7 @@ type Runtime struct {
 	profOpen      bool
 	faultsTraced  int
 	breakerTraced int
+	healthTraced  int
 
 	// Overlapped-placement state (see async.go). asyncActive is true
 	// while a background placement worker may run concurrently with
@@ -125,6 +135,15 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	if o.FaultSchedule != nil {
 		r.faults = faultinject.New(*o.FaultSchedule)
 		r.sys.SetFaultHook(r.faults)
+	}
+	if o.Health.Enabled {
+		if err := o.Health.Policy.Validate(); err != nil {
+			return nil, err
+		}
+		r.board = health.NewScoreboard(o.Health.Policy)
+		if o.Health.Scrub {
+			r.scrub = health.NewScrubber()
+		}
 	}
 	if o.Governor.Enabled {
 		gcfg := o.Governor.governorConfig()
@@ -190,6 +209,19 @@ func (r *Runtime) DisarmFaults() {
 	if r.faults != nil {
 		r.faults.Disarm()
 	}
+}
+
+// ArmFaults appends fault rules to the injector at runtime. Chaos
+// scenarios use it to aim range-scoped persistent or corruption faults
+// at addresses that are only known after allocation (a schedule given
+// at construction cannot reference them). An injector is created on
+// first use if Options.FaultSchedule was nil.
+func (r *Runtime) ArmFaults(faults ...faultinject.Fault) {
+	if r.faults == nil {
+		r.faults = faultinject.New(faultinject.Schedule{})
+		r.sys.SetFaultHook(r.faults)
+	}
+	r.faults.Arm(faults...)
 }
 
 // Registry exposes the data-object registry (for tests and the harness).

@@ -121,6 +121,32 @@ func (r *Runtime) logBreakerTransitions(tid int) {
 	}
 }
 
+// logHealthTransitions mirrors scoreboard granule-state changes not yet
+// in the trace as instants on the health track (same drain pattern as
+// logBreakerTransitions). The governed Optimize calls it before closing
+// its span; the trace writers call it again so epoch-boundary
+// transitions (scrub detections, condemnations) also reach the trace.
+func (r *Runtime) logHealthTransitions(tid int) {
+	if !r.rec.Enabled() || r.board == nil {
+		return
+	}
+	trs := r.board.Transitions()
+	for ; r.healthTraced < len(trs); r.healthTraced++ {
+		tr := trs[r.healthTraced]
+		args := telemetry.Args{
+			"epoch":  tr.Epoch,
+			"base":   tr.Base,
+			"bytes":  tr.Size,
+			"from":   tr.From.String(),
+			"reason": tr.Reason,
+		}
+		if tr.Backoff > 0 {
+			args["backoff"] = tr.Backoff
+		}
+		r.rec.Instant(tid, "health", "granule-"+tr.To.String(), args)
+	}
+}
+
 // emitPhaseMetrics snapshots the per-phase counters onto the trace's
 // counter tracks: tier occupancy (mapped and reserved bytes per tier)
 // and the phase's per-tier traffic breakdown.
@@ -193,6 +219,7 @@ func (r *Runtime) logNewFaults(tid int) {
 // events are synced into the trace first.
 func (r *Runtime) WriteTrace(w io.Writer) error {
 	r.logNewFaults(0)
+	r.logHealthTransitions(0)
 	return telemetry.WriteChromeTrace(w, r.rec.Events())
 }
 
@@ -200,6 +227,7 @@ func (r *Runtime) WriteTrace(w io.Writer) error {
 // both clocks in explicit columns.
 func (r *Runtime) WriteTraceCSV(w io.Writer) error {
 	r.logNewFaults(0)
+	r.logHealthTransitions(0)
 	return telemetry.WriteCSV(w, r.rec.Events())
 }
 
