@@ -48,6 +48,7 @@ func (r *Runtime) RunEpochAsync(ctx context.Context, name string, body func()) (
 	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "async": true})
 	rep := EpochReport{Epoch: r.epoch}
 	phaseStart := len(r.phases)
+	scrubStart := r.scrubChargedNS
 
 	// Launch the background placement on the pending interval's samples.
 	// The heat is still in the registry — the reset is deferred to the
@@ -104,6 +105,7 @@ func (r *Runtime) RunEpochAsync(ctx context.Context, name string, body func()) (
 		r.pendingSamples = rep.Samples
 		r.pendingPeriod = r.prof.Config().Period
 	}
+	r.finishEpochScorecard(&rep, scrubStart)
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":      r.epoch,
 		"samples":    rep.Samples,

@@ -32,6 +32,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to this file")
 	benchJSON := flag.String("bench-json", harness.BenchSimPath, "path the bench-sim experiment writes its JSON artifact to")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /epochz, /healthz, and pprof on this address during the adaptive scenarios (e.g. 127.0.0.1:9798)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atmem-bench [-format text|csv|md|json] [-v] <experiment>...|all\n\nexperiments ('all' runs the paper set; extensions run by id):\n")
 		for _, e := range harness.AllExperiments() {
@@ -78,10 +79,10 @@ func main() {
 	harness.BenchSimPath = *benchJSON
 	// runAll lives in its own function so the profile writers flush on
 	// every exit path, including experiment failures.
-	os.Exit(runAll(exps, *format, *verbose, *traceDir, *async, sched, *cpuprofile, *memprofile))
+	os.Exit(runAll(exps, *format, *verbose, *traceDir, *async, sched, *cpuprofile, *memprofile, *debugAddr))
 }
 
-func runAll(exps []harness.Experiment, format string, verbose bool, traceDir string, async bool, faults *faultinject.Schedule, cpuprofile, memprofile string) int {
+func runAll(exps []harness.Experiment, format string, verbose bool, traceDir string, async bool, faults *faultinject.Schedule, cpuprofile, memprofile, debugAddr string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -117,6 +118,7 @@ func runAll(exps []harness.Experiment, format string, verbose bool, traceDir str
 	suite.Verbose = verbose
 	suite.TraceDir = traceDir
 	suite.Async = async
+	suite.DebugAddr = debugAddr
 	if faults != nil {
 		suite.Faults = faults
 		// The canonical String() form keys the memoized runs, so two

@@ -1,0 +1,120 @@
+// Command atmem-benchdiff is the bench-regression gate: it compares a
+// freshly generated BENCH_sim.json against the committed baseline and
+// fails when the perf trajectory regresses beyond tolerance.
+//
+// Usage:
+//
+//	atmem-bench -bench-json fresh.json bench-sim
+//	atmem-benchdiff -baseline BENCH_sim.json -fresh fresh.json
+//
+// The gate watches the two numbers CI tracks across PRs:
+//
+//   - ns_per_simulated_access — raw cost of the sealed parallel hot
+//     path; lower is better. Fails when the fresh value exceeds the
+//     baseline by more than -ns-tol (relative).
+//   - placement_speedup — compiled-plan replay vs the online placement
+//     loop; higher is better. Fails when the fresh value falls below
+//     the baseline by more than -speedup-tol (relative).
+//
+// Both are host-relative ratios of work the same binary performed, so
+// they travel across machines far better than absolute wall clocks; the
+// generous default tolerance (15%) absorbs the residual CI-runner
+// noise. Exit status: 0 pass, 1 regression (or invalid artifacts),
+// 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"atmem/internal/harness"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline BENCH_sim.json")
+	fresh := flag.String("fresh", "", "freshly generated BENCH_sim.json to gate (required)")
+	nsTol := flag.Float64("ns-tol", 0.15, "max relative increase in ns_per_simulated_access")
+	spTol := flag.Float64("speedup-tol", 0.15, "max relative decrease in placement_speedup")
+	flag.Parse()
+	if *fresh == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: atmem-benchdiff -baseline BENCH_sim.json -fresh fresh.json [-ns-tol 0.15] [-speedup-tol 0.15]")
+		os.Exit(2)
+	}
+	os.Exit(diff(*baseline, *fresh, *nsTol, *spTol))
+}
+
+func diff(baselinePath, freshPath string, nsTol, spTol float64) int {
+	base, err := readBench(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atmem-benchdiff: baseline: %v\n", err)
+		return 1
+	}
+	cur, err := readBench(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atmem-benchdiff: fresh: %v\n", err)
+		return 1
+	}
+	if cur.SchemaVersion < base.SchemaVersion {
+		fmt.Fprintf(os.Stderr, "atmem-benchdiff: fresh schema_version %d is older than baseline's %d — stale binary?\n",
+			cur.SchemaVersion, base.SchemaVersion)
+		return 1
+	}
+
+	fmt.Printf("baseline %s (schema v%d, sha %s, %d cores)\n",
+		baselinePath, base.SchemaVersion, orNA(base.GitSHA), base.HostCores)
+	fmt.Printf("fresh    %s (schema v%d, sha %s, %d cores)\n",
+		freshPath, cur.SchemaVersion, orNA(cur.GitSHA), cur.HostCores)
+
+	failed := false
+	// ns/access: lower is better; gate the relative increase.
+	if base.NsPerSimAccess > 0 {
+		rel := cur.NsPerSimAccess/base.NsPerSimAccess - 1
+		failed = report("ns_per_simulated_access", base.NsPerSimAccess, cur.NsPerSimAccess,
+			rel, nsTol) || failed
+	}
+	// placement speedup: higher is better; gate the relative decrease.
+	if base.PlacementSpeedup > 0 {
+		rel := 1 - cur.PlacementSpeedup/base.PlacementSpeedup
+		failed = report("placement_speedup", base.PlacementSpeedup, cur.PlacementSpeedup,
+			rel, spTol) || failed
+	}
+	if failed {
+		fmt.Println("FAIL: perf regression beyond tolerance")
+		return 1
+	}
+	fmt.Println("PASS: perf trajectory within tolerance")
+	return 0
+}
+
+// report prints one metric's comparison and returns whether it regressed
+// beyond tolerance. rel is the normalized regression (positive = worse).
+func report(name string, base, cur, rel, tol float64) bool {
+	verdict := "ok"
+	regressed := rel > tol
+	if regressed {
+		verdict = fmt.Sprintf("REGRESSED (>%.0f%% tolerance)", tol*100)
+	}
+	fmt.Printf("  %-26s %12.3f -> %12.3f  (%+.1f%%)  %s\n", name, base, cur, rel*100, verdict)
+	return regressed
+}
+
+func readBench(path string) (harness.BenchSim, error) {
+	var bs harness.BenchSim
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bs, err
+	}
+	if err := json.Unmarshal(data, &bs); err != nil {
+		return bs, fmt.Errorf("%s: %w", path, err)
+	}
+	return bs, nil
+}
+
+func orNA(s string) string {
+	if s == "" {
+		return "n/a"
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atmem/internal/harness"
+)
+
+func writeBench(t *testing.T, dir, name string, bs harness.BenchSim) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	base := harness.BenchSim{
+		SchemaVersion:    harness.BenchSimSchemaVersion,
+		NsPerSimAccess:   14.0,
+		PlacementSpeedup: 20.0,
+	}
+	basePath := writeBench(t, dir, "base.json", base)
+
+	cases := []struct {
+		name string
+		mod  func(*harness.BenchSim)
+		want int
+	}{
+		{"identical", func(bs *harness.BenchSim) {}, 0},
+		{"within tolerance", func(bs *harness.BenchSim) {
+			bs.NsPerSimAccess = 15.0   // +7%
+			bs.PlacementSpeedup = 18.5 // -7.5%
+		}, 0},
+		{"ns regression", func(bs *harness.BenchSim) {
+			bs.NsPerSimAccess = 17.0 // +21%
+		}, 1},
+		{"speedup regression", func(bs *harness.BenchSim) {
+			bs.PlacementSpeedup = 15.0 // -25%
+		}, 1},
+		{"improvement never fails", func(bs *harness.BenchSim) {
+			bs.NsPerSimAccess = 7.0
+			bs.PlacementSpeedup = 40.0
+		}, 0},
+		{"schema downgrade", func(bs *harness.BenchSim) {
+			bs.SchemaVersion = harness.BenchSimSchemaVersion - 1
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := base
+			tc.mod(&cur)
+			path := writeBench(t, dir, "fresh-"+tc.name+".json", cur)
+			if got := diff(basePath, path, 0.15, 0.15); got != tc.want {
+				t.Errorf("diff = %d, want %d", got, tc.want)
+			}
+		})
+	}
+
+	if got := diff(filepath.Join(dir, "missing.json"), basePath, 0.15, 0.15); got != 1 {
+		t.Errorf("missing baseline: diff = %d, want 1", got)
+	}
+}

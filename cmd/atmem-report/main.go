@@ -14,14 +14,23 @@
 //
 //	atmem-bench -trace traces tab3
 //	atmem-report -timeline -format text traces/*.trace.json
+//
+// With -scorecard the inputs are per-epoch placement-quality scorecard
+// JSON (the <stem>.scorecards.json artifact a governed traced run
+// writes, or a capture of the debug listener's /epochz):
+//
+//	atmem-bench -trace traces adaptive-pressure
+//	atmem-report -scorecard -format md traces/*.scorecards.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"atmem"
 	"atmem/internal/harness"
 	"atmem/internal/telemetry"
 )
@@ -29,9 +38,10 @@ import (
 func main() {
 	format := flag.String("format", "md", "output format: text, csv, md")
 	timeline := flag.Bool("timeline", false, "inputs are telemetry trace JSON; render them as timelines (text or md)")
+	scorecard := flag.Bool("scorecard", false, "inputs are scorecard JSON (a *.scorecards.json artifact or one /epochz object); render the placement-quality table")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: atmem-report [-timeline] [-format text|csv|md] <results.json|trace.json|->")
+		fmt.Fprintln(os.Stderr, "usage: atmem-report [-timeline|-scorecard] [-format text|csv|md] <results.json|trace.json|scorecards.json|->")
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
@@ -48,6 +58,10 @@ func main() {
 		}
 		if *timeline {
 			renderTimeline(path, rd, *format)
+			continue
+		}
+		if *scorecard {
+			renderScorecards(path, rd, *format)
 			continue
 		}
 		reports, err := harness.ReadJSONReports(rd)
@@ -89,6 +103,64 @@ func renderTimeline(path string, rd io.Reader, format string) {
 		err = telemetry.WriteCSV(os.Stdout, events)
 	default:
 		fatal("unknown timeline format %q (want text, md, or csv)", format)
+	}
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+}
+
+// renderScorecards renders per-epoch placement-quality scorecards as a
+// report table. The input is either the JSON array a traced governed
+// run writes (<stem>.scorecards.json) or a single object captured from
+// the debug listener's /epochz endpoint.
+func renderScorecards(path string, rd io.Reader, format string) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+	var cards []atmem.Scorecard
+	if err := json.Unmarshal(data, &cards); err != nil {
+		var one atmem.Scorecard
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			fatal("%s: not scorecard JSON: %v", path, err)
+		}
+		cards = []atmem.Scorecard{one}
+	}
+	rep := &harness.Report{
+		ID:    "scorecards",
+		Title: fmt.Sprintf("Placement-quality scorecards: %s", path),
+		Columns: []string{"epoch", "phase(s)", "fast-share", "resid-eff", "mig-eff",
+			"moved", "promoted", "demoted", "resident", "ovh-tax", "breaker"},
+	}
+	for _, c := range cards {
+		rep.AddRow(
+			fmt.Sprintf("%d", c.Epoch),
+			fmt.Sprintf("%.6f", c.PhaseSeconds),
+			fmt.Sprintf("%.3f", c.FastAccessShare),
+			fmt.Sprintf("%.3f", c.FastResidencyEfficiency),
+			fmt.Sprintf("%.2f", c.MigrationEfficiency),
+			fmt.Sprintf("%d", c.MovedBytes),
+			fmt.Sprintf("%d", c.PromotedBytes),
+			fmt.Sprintf("%d", c.DemotedBytes),
+			fmt.Sprintf("%d", c.ResidentBytes),
+			fmt.Sprintf("%.4f", c.OverheadTax),
+			c.Breaker)
+	}
+	if n := len(cards); n > 0 {
+		last := cards[n-1]
+		rep.AddNote("%d epochs; final: fast-access share %.3f, fast-residency efficiency %.3f, overhead tax %.4f, breaker %s",
+			n, last.FastAccessShare, last.FastResidencyEfficiency, last.OverheadTax, last.Breaker)
+	}
+	switch format {
+	case "text":
+		err = rep.WriteText(os.Stdout)
+		fmt.Println()
+	case "csv":
+		err = rep.WriteCSV(os.Stdout)
+	case "md":
+		err = rep.WriteMarkdown(os.Stdout)
+	default:
+		fatal("unknown scorecard format %q (want text, md, or csv)", format)
 	}
 	if err != nil {
 		fatal("%s: %v", path, err)

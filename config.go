@@ -27,6 +27,7 @@ import (
 	"atmem/internal/governor"
 	"atmem/internal/health"
 	"atmem/internal/memsim"
+	"atmem/internal/metrics"
 	"atmem/internal/migrate"
 	"atmem/internal/pebs"
 	"atmem/internal/telemetry"
@@ -204,6 +205,26 @@ type Options struct {
 	// zero value keeps each engine's historical ladder (see
 	// migrate.RetryPolicy).
 	Retry migrate.RetryPolicy
+	// Metrics, when non-nil, attaches a live metrics registry: per-tier
+	// traffic and occupancy, epoch/analyze/migrate latency histograms,
+	// governor and health counters, and the per-epoch placement-quality
+	// scorecard gauges, all scrapeable concurrently with the run (see
+	// metrics.go and internal/metrics). A nil registry disables metrics
+	// at the cost of one pointer test per boundary; the simulated-access
+	// hot path is never instrumented. Construct with NewMetricsRegistry.
+	Metrics *metrics.Registry
+	// DebugAddr, when non-empty, starts the debug HTTP listener on that
+	// address (":0" picks a free port; read it back via
+	// Runtime.DebugAddr): /metrics serves Prometheus text, /epochz the
+	// latest scorecard as JSON, /healthz a liveness probe, and
+	// /debug/pprof/ the usual profiles. Implies Metrics (a registry is
+	// created if none was given). Call Runtime.Close to stop it.
+	DebugAddr string
+	// ScorecardSink, when non-nil, receives every per-epoch Scorecard as
+	// the epoch boundary computes it (control-plane goroutine, governed
+	// runs only). The harness uses it to stream scorecard rows into
+	// experiment reports.
+	ScorecardSink func(Scorecard)
 }
 
 // HealthOptions configures the tier-health subsystem (see
@@ -299,6 +320,11 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Health.Scrub {
 		out.Health.Enabled = true
+	}
+	if out.DebugAddr != "" && out.Metrics == nil {
+		// A debug listener without a registry would serve an empty
+		// /metrics; the listener implies live metrics.
+		out.Metrics = metrics.New(metricsShards)
 	}
 	return out
 }

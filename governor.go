@@ -11,6 +11,7 @@ package atmem
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"atmem/internal/core"
 	"atmem/internal/governor"
@@ -127,6 +128,10 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch})
 	rep := EpochReport{Epoch: r.epoch}
 	phaseStart := len(r.phases)
+	// The epoch's scorecard charges exactly the scrub time this epoch's
+	// health passes add (the epoch-start pass below and the epoch-end
+	// evacuations), so diff the cumulative charge across the epoch.
+	scrubStart := r.scrubChargedNS
 
 	// Epoch-start health pass: fire the fault schedule's epoch-driven
 	// orders and scrub the fast-tier residency, so injected corruption is
@@ -165,6 +170,7 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	if err == nil {
 		err = r.endEpochHealth(0)
 	}
+	r.finishEpochScorecard(&rep, scrubStart)
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
 		"samples":   rep.Samples,
@@ -187,11 +193,13 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	}
 	optStart := r.simNS.Load()
 	r.rec.Begin(tid, "optimize", "optimize", nil)
+	var analyzeNS uint64
 	defer func() {
 		r.logNewFaults(tid)
 		r.logBreakerTransitions(tid)
 		r.logHealthTransitions(tid)
 		r.rec.End(tid, "optimize", "optimize", r.optimizeSpanArgs())
+		r.recordOptimizeMetrics(tid, analyzeNS)
 	}()
 
 	gi := &govInfo{decision: r.breaker.Decide()}
@@ -236,7 +244,9 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 		r.breaker.Observe(false)
 		return finish(), nil
 	}
+	analyzeStart := time.Now()
 	plan, err := core.AnalyzeObserved(r.reg, period, budget, r.stageObserver(tid))
+	analyzeNS = uint64(time.Since(analyzeStart))
 	if err != nil {
 		return MigrationReport{}, err
 	}

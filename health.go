@@ -326,7 +326,11 @@ func (r *Runtime) scrubPass(tid int) error {
 	after := r.scrub.Stats()
 	if gbs := r.healthPolicy().ScrubGBs; gbs > 0 {
 		scanned := after.BytesScrubbed - before.BytesScrubbed
-		r.simNS.Add(uint64(float64(scanned) / (gbs * 1e9) * 1e9))
+		chargedNS := uint64(float64(scanned) / (gbs * 1e9) * 1e9)
+		r.simNS.Add(chargedNS)
+		// The epoch scorecard's ScrubSeconds diffs this cumulative
+		// charge across the epoch (see finishEpochScorecard).
+		r.scrubChargedNS += chargedNS
 	}
 	return nil
 }

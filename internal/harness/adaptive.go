@@ -54,6 +54,11 @@ type AdaptiveScenario struct {
 	// TraceDir, when non-empty, records telemetry and writes the trace
 	// artifacts there.
 	TraceDir string
+	// DebugAddr, when non-empty, serves the live debug endpoints
+	// (/metrics, /epochz, /healthz, net/http/pprof) on this address for
+	// the duration of the run — the scenario is long enough to scrape
+	// mid-flight, which is exactly what the CI metrics-smoke step does.
+	DebugAddr string
 }
 
 // DefaultAdaptiveScenario returns the scenario the adaptive-pressure
@@ -144,6 +149,9 @@ type AdaptiveResult struct {
 	// last epoch; identical scenarios must produce identical values
 	// regardless of placement mode.
 	DataCRC uint32
+	// Scorecards are the per-epoch placement-quality scorecards, one per
+	// entry in Epochs (the epoch loop is governed throughout).
+	Scorecards []atmem.Scorecard
 }
 
 // ShiftStart returns the index into Epochs of the first PR epoch.
@@ -195,10 +203,16 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 	if sc.TraceDir != "" {
 		opts = append(opts, atmem.WithTelemetry(telemetry.NewRecorder()))
 	}
+	if sc.DebugAddr != "" {
+		opts = append(opts, atmem.WithDebugAddr(sc.DebugAddr))
+	}
 	rt, err := atmem.New(atmem.NVMDRAM(), opts...)
 	if err != nil {
 		return nil, err
 	}
+	// Release the debug listener (if any) when the scenario ends so the
+	// next scenario can bind the same address. Close is nil-safe.
+	defer rt.Close()
 	bfs, err := apps.New("bfs")
 	if err != nil {
 		return nil, err
@@ -287,6 +301,7 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 	res.TotalSimSeconds = rt.SimSeconds()
 	res.OverlapSeconds = rt.OverlapSeconds()
 	res.StolenSeconds = rt.StolenSeconds()
+	res.Scorecards = rt.Scorecards()
 
 	// Safety net: whatever the governor did — including concurrently
 	// with running kernels — it must not have harmed the data or the
@@ -358,6 +373,7 @@ func adaptivePressure(s *Suite) ([]*Report, error) {
 			sc.FaultEpochs = adaptiveFaultEpochs
 		}
 		sc.TraceDir = s.TraceDir
+		sc.DebugAddr = s.DebugAddr
 		res, err := RunAdaptivePressure(sc)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", v.id, err)
@@ -366,9 +382,10 @@ func adaptivePressure(s *Suite) ([]*Report, error) {
 			ID:    v.id,
 			Title: v.title,
 			Columns: []string{"epoch", "workload", "reserve(MiB)", "iter(s)",
-				"promoted", "demoted", "pressure", "resident", "breaker", "outcome"},
+				"promoted", "demoted", "pressure", "resident", "breaker", "outcome",
+				"fast-share", "ovh-tax"},
 		}
-		for _, e := range res.Epochs {
+		for i, e := range res.Epochs {
 			m := e.Migration
 			outcome := "moved"
 			switch {
@@ -379,6 +396,12 @@ func adaptivePressure(s *Suite) ([]*Report, error) {
 			case m.RegionsSkipped > 0:
 				outcome = "degraded"
 			}
+			fastShare, ovhTax := "-", "-"
+			if i < len(res.Scorecards) {
+				card := res.Scorecards[i]
+				fastShare = fmt.Sprintf("%.3f", card.FastAccessShare)
+				ovhTax = fmt.Sprintf("%.4f", card.OverheadTax)
+			}
 			rep.AddRow(
 				fmt.Sprintf("%d", e.Epoch), e.Workload,
 				fmt.Sprintf("%d", e.Reserve>>20),
@@ -387,10 +410,15 @@ func adaptivePressure(s *Suite) ([]*Report, error) {
 				fmt.Sprintf("%d", m.DemotedBytes),
 				fmt.Sprintf("%d", m.PressureDemotedBytes),
 				fmt.Sprintf("%d", m.ResidentBytes),
-				m.Breaker, outcome)
+				m.Breaker, outcome, fastShare, ovhTax)
 		}
 		rep.AddNote("breaker transitions: %s; final state %s; %d fault fires; results validated and graph data CRC-identical across all %d epochs",
 			transitionSummary(res.Transitions), res.FinalState, res.FaultEvents, len(res.Epochs))
+		if n := len(res.Scorecards); n > 0 {
+			last := res.Scorecards[n-1]
+			rep.AddNote("steady-state scorecard: fast-access share %.3f, fast-residency efficiency %.3f, migration efficiency %.2f, overhead tax %.4f",
+				last.FastAccessShare, last.FastResidencyEfficiency, last.MigrationEfficiency, last.OverheadTax)
+		}
 		out = append(out, rep)
 	}
 	return out, nil
@@ -429,6 +457,7 @@ func overlapComparison(s *Suite) ([]*Report, error) {
 			sc.FaultEpochs = adaptiveFaultEpochs
 		}
 		sc.TraceDir = s.TraceDir
+		sc.DebugAddr = s.DebugAddr
 		res, err := RunAdaptivePressure(sc)
 		if err != nil {
 			return nil, fmt.Errorf("harness: overlap/%s: %w", m.id, err)

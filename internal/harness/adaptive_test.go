@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -195,6 +196,27 @@ func TestAdaptivePressureSmoke(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", stem+suffix)
+		}
+	}
+	// The governed run's scorecards artifact: one card per epoch,
+	// round-tripping through JSON bit-exact with the in-memory result.
+	if len(res.Scorecards) != len(res.Epochs) {
+		t.Fatalf("%d scorecards for %d epochs", len(res.Scorecards), len(res.Epochs))
+	}
+	data, err := os.ReadFile(stem + ".scorecards.json")
+	if err != nil {
+		t.Fatalf("missing scorecards artifact: %v", err)
+	}
+	var cards []atmem.Scorecard
+	if err := json.Unmarshal(data, &cards); err != nil {
+		t.Fatalf("scorecards artifact not valid JSON: %v", err)
+	}
+	if len(cards) != len(res.Scorecards) {
+		t.Fatalf("artifact has %d scorecards, result has %d", len(cards), len(res.Scorecards))
+	}
+	for i, c := range cards {
+		if c != res.Scorecards[i] {
+			t.Errorf("scorecard %d diverged across the JSON round trip", i)
 		}
 	}
 }

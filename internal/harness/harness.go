@@ -6,6 +6,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -305,6 +306,18 @@ func writeTraceArtifactsStem(rt *atmem.Runtime, dir, stem string) (string, error
 	if _, err := write(stem+".heat.csv", rt.WriteChunkHeat); err != nil {
 		return "", err
 	}
+	// Governed runs carry per-epoch placement-quality scorecards; write
+	// them next to the trace so a report can grade the run offline
+	// (atmem-report -scorecard).
+	if cards := rt.Scorecards(); len(cards) > 0 {
+		if _, err := write(stem+".scorecards.json", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(cards)
+		}); err != nil {
+			return "", err
+		}
+	}
 	return tracePath, nil
 }
 
@@ -328,6 +341,12 @@ type Suite struct {
 	// and should be the schedule's canonical DSL string.
 	Faults     *faultinject.Schedule
 	FaultLabel string
+	// DebugAddr, when set, attaches the live debug listener (/metrics,
+	// /epochz, /healthz, pprof) to the long-running adaptive scenarios
+	// (atmem-bench -debug-addr). The scenarios run sequentially and close
+	// their runtime when done, so one fixed address serves them all; the
+	// short memoized Run configurations never bind it.
+	DebugAddr string
 }
 
 // NewSuite builds an empty suite.

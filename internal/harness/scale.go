@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -277,13 +279,29 @@ func planReplay(s *Suite) ([]*Report, error) {
 	return []*Report{rep}, nil
 }
 
+// BenchSimSchemaVersion is the schema of the BENCH_sim.json artifact.
+// Bump it when fields change meaning or disappear; benchSim refuses to
+// overwrite an artifact stamped with a NEWER version, so an old binary
+// can never silently downgrade the perf trajectory CI tracks.
+//
+// v1: unversioned (no schema_version field).
+// v2: adds schema_version, gomaxprocs, git_sha.
+const BenchSimSchemaVersion = 2
+
 // BenchSim is the machine-readable perf snapshot CI uploads as
 // BENCH_sim.json: raw simulator throughput, host-core scaling, and the
 // online-vs-replay comparison. Fields are stable across PRs — they are
 // the perf trajectory.
 type BenchSim struct {
+	SchemaVersion int   `json:"schema_version"`
 	GeneratedUnix int64 `json:"generated_unix"`
 	HostCores     int   `json:"host_cores"`
+	// GoMaxProcs is the scheduler width the snapshot ran under and
+	// GitSHA the source revision it measured (GITHUB_SHA in CI, local
+	// git HEAD otherwise, empty when neither resolves) — the provenance
+	// a regression gate needs before comparing two snapshots.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha,omitempty"`
 	// NsPerSimAccess and SimAccessesPerSec characterize the sealed
 	// parallel hot path at the highest measured proc count.
 	NsPerSimAccess    float64 `json:"ns_per_simulated_access"`
@@ -362,9 +380,15 @@ func measureSimThroughput(procs, opsPerWorker int) float64 {
 // benchSim produces the BENCH_sim.json artifact plus a human-readable
 // report of the same numbers.
 func benchSim(s *Suite) ([]*Report, error) {
+	if err := checkBenchSchema(BenchSimPath); err != nil {
+		return nil, err
+	}
 	bs := BenchSim{
+		SchemaVersion: BenchSimSchemaVersion,
 		GeneratedUnix: time.Now().Unix(),
 		HostCores:     runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GitSHA:        benchGitSHA(),
 	}
 	const ops = 1 << 15
 	for _, procs := range []int{1, 2, 4, 8} {
@@ -429,4 +453,41 @@ func benchSim(s *Suite) ([]*Report, error) {
 	rep.AddRow("placement speedup", ratio(bs.PlacementSpeedup))
 	rep.AddNote("written to %s (CI uploads it as the perf-trajectory artifact)", BenchSimPath)
 	return []*Report{rep}, nil
+}
+
+// checkBenchSchema refuses to clobber an artifact stamped by a NEWER
+// schema: an older binary rerunning bench-sim must fail loudly rather
+// than silently strip fields the regression gate depends on. A missing
+// or unparseable artifact (including v1, which carried no version) is
+// fair game.
+func checkBenchSchema(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var probe struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil
+	}
+	if probe.SchemaVersion > BenchSimSchemaVersion {
+		return fmt.Errorf("harness: %s carries schema_version %d, newer than this binary's %d; refusing to overwrite (rebuild from the newer source or remove the artifact)",
+			path, probe.SchemaVersion, BenchSimSchemaVersion)
+	}
+	return nil
+}
+
+// benchGitSHA resolves the source revision to stamp into the artifact:
+// CI's GITHUB_SHA when set, the local git HEAD otherwise, empty when
+// neither resolves (e.g. a source tarball — provenance is best-effort).
+func benchGitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckBenchSchema pins the overwrite guard: a missing, legacy, or
+// same-version artifact may be regenerated; one stamped by a newer
+// schema must not.
+func TestCheckBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if err := checkBenchSchema(filepath.Join(dir, "absent.json")); err != nil {
+		t.Errorf("missing artifact: %v", err)
+	}
+	if err := checkBenchSchema(write("garbage.json", "not json")); err != nil {
+		t.Errorf("unparseable artifact: %v", err)
+	}
+	if err := checkBenchSchema(write("v1.json", `{"host_cores": 8}`)); err != nil {
+		t.Errorf("legacy unversioned artifact: %v", err)
+	}
+	same := fmt.Sprintf(`{"schema_version": %d}`, BenchSimSchemaVersion)
+	if err := checkBenchSchema(write("same.json", same)); err != nil {
+		t.Errorf("same-version artifact: %v", err)
+	}
+	newer := fmt.Sprintf(`{"schema_version": %d}`, BenchSimSchemaVersion+1)
+	err := checkBenchSchema(write("newer.json", newer))
+	if err == nil {
+		t.Fatal("newer-schema artifact was not refused")
+	}
+	if !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Errorf("unexpected refusal message: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+// Log-linear histogram: each power-of-two octave of the value domain is
+// split into histSub linear sub-buckets, so relative resolution stays
+// ~25% across twelve orders of magnitude with a fixed, small bucket
+// array — the classic HDR shape, sized for nanosecond latencies and
+// byte volumes. Values are unsigned integers; callers pick the unit
+// (the runtime records nanoseconds and bytes) and name the metric
+// accordingly.
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histSubBits is log2 of the linear sub-buckets per octave.
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	// histOctaves bounds the tracked octaves: the largest finite bucket
+	// boundary is 2^(histOctaves+histSubBits)-1 ≈ 1.1e15 — almost two
+	// weeks in nanoseconds, a petabyte in bytes. Larger values count
+	// only toward Count/Sum (the +Inf bucket).
+	histOctaves = 48
+	// histBuckets is the finite bucket count: histSub unit buckets for
+	// values < histSub, then histSub per octave.
+	histBuckets = histSub + histSub*histOctaves
+)
+
+// Histogram is a concurrent log-linear histogram. Observe is safe from
+// any goroutine (atomic adds); a nil Histogram is the disabled
+// histogram.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value onto its log-linear bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1 // >= histSubBits
+	sub := int(v>>(uint(msb)-histSubBits)) & (histSub - 1)
+	return (msb-histSubBits+1)*histSub + sub
+}
+
+// bucketUpperBound is the largest value bucket i holds (the Prometheus
+// `le` boundary; exposition treats it as inclusive, which is exact for
+// integer domains).
+func bucketUpperBound(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	msb := uint(i/histSub) + histSubBits - 1
+	sub := uint64(i%histSub) + 1
+	return 1<<msb + sub<<(msb-histSubBits) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	if i := bucketIndex(v); i < histBuckets {
+		h.buckets[i].Add(1)
+	}
+}
+
+// ObserveSeconds records a duration in nanoseconds (negative durations
+// clamp to zero).
+func (h *Histogram) ObserveSeconds(s float64) {
+	if h == nil {
+		return
+	}
+	if s < 0 {
+		s = 0
+	}
+	h.Observe(uint64(s * 1e9))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the largest value the bucket holds (inclusive).
+	UpperBound uint64
+	// Count is the bucket's own (non-cumulative) observation count.
+	Count uint64
+}
+
+// snapshot reads the histogram's state: count, sum, and the non-empty
+// buckets in ascending bound order.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{UpperBound: bucketUpperBound(i), Count: n})
+		}
+	}
+	return hs
+}

@@ -1,0 +1,102 @@
+package metrics
+
+// Prometheus text exposition (version 0.0.4) of the registry: families
+// sorted by name, series sorted by canonical label key, HELP/TYPE
+// lines per family, exposition-format escaping in help text and label
+// values. The output is deterministic for a given registry state —
+// the golden-file test pins it.
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a HELP line per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double-quote,
+// newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSeriesLine writes `name{labels} value`, merging extra labels
+// (already escaped, e.g. a histogram's le) after the series labels.
+func writeSeriesLine(w *bufio.Writer, name, labelKey, extra, value string) {
+	w.WriteString(name)
+	if labelKey != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labelKey)
+		if labelKey != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Safe concurrently with recording (values are read
+// atomically; the registration lock pins the series set). A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.sortedFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			switch f.typ {
+			case typeCounter:
+				writeSeriesLine(bw, f.name, s.labelKey, "",
+					strconv.FormatUint(s.c.Value(), 10))
+			case typeGauge:
+				writeSeriesLine(bw, f.name, s.labelKey, "", formatFloat(s.g.Value()))
+			case typeHistogram:
+				hs := s.h.snapshot()
+				var cum uint64
+				for _, b := range hs.Buckets {
+					cum += b.Count
+					writeSeriesLine(bw, f.name+"_bucket", s.labelKey,
+						`le="`+strconv.FormatUint(b.UpperBound, 10)+`"`,
+						strconv.FormatUint(cum, 10))
+				}
+				writeSeriesLine(bw, f.name+"_bucket", s.labelKey, `le="+Inf"`,
+					strconv.FormatUint(hs.Count, 10))
+				writeSeriesLine(bw, f.name+"_sum", s.labelKey, "",
+					strconv.FormatUint(hs.Sum, 10))
+				writeSeriesLine(bw, f.name+"_count", s.labelKey, "",
+					strconv.FormatUint(hs.Count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}

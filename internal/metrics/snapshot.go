@@ -1,0 +1,97 @@
+package metrics
+
+// Point-in-time snapshots and delta diffing. A snapshot reads every
+// series under the registration lock (so the series set is stable) with
+// atomic value loads, concurrently with recording: each individual
+// value is exact at its read instant, and no writer is ever stalled.
+// Delta subtracts an earlier snapshot's counters and histogram counts
+// from a later one — the per-interval view the scorecards and tests
+// build on.
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Count and Sum cover every observation, including values beyond
+	// the largest finite bucket.
+	Count uint64
+	Sum   uint64
+	// Buckets are the non-empty buckets, ascending by bound, with
+	// non-cumulative counts (the exposition writer accumulates).
+	Buckets []Bucket
+}
+
+// Snapshot is a point-in-time copy of every registered series, keyed by
+// SeriesID (`name` or `name{k="v",...}`).
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures every series' current value. Safe concurrently
+// with recording; nil registries return an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		for _, s := range f.series {
+			id := SeriesID(f.name, s.labels)
+			switch f.typ {
+			case typeCounter:
+				snap.Counters[id] = s.c.Value()
+			case typeGauge:
+				snap.Gauges[id] = s.g.Value()
+			case typeHistogram:
+				snap.Histograms[id] = s.h.snapshot()
+			}
+		}
+	}
+	return snap
+}
+
+// Delta returns s minus prev: counter values and histogram counts/sums
+// subtract (series absent from prev diff against zero; a counter that
+// went backwards — a restarted registry — clamps to its current value),
+// gauges keep their current value (a gauge is a level, not a flow).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for id, v := range s.Counters {
+		if p, ok := prev.Counters[id]; ok && p <= v {
+			v -= p
+		}
+		out.Counters[id] = v
+	}
+	for id, v := range s.Gauges {
+		out.Gauges[id] = v
+	}
+	for id, h := range s.Histograms {
+		p, ok := prev.Histograms[id]
+		if !ok || p.Count > h.Count {
+			out.Histograms[id] = h
+			continue
+		}
+		d := HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+		pb := make(map[uint64]uint64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			pb[b.UpperBound] = b.Count
+		}
+		for _, b := range h.Buckets {
+			if n := b.Count - pb[b.UpperBound]; n > 0 {
+				d.Buckets = append(d.Buckets, Bucket{UpperBound: b.UpperBound, Count: n})
+			}
+		}
+		out.Histograms[id] = d
+	}
+	return out
+}

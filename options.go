@@ -10,6 +10,7 @@ import (
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
 	"atmem/internal/health"
+	"atmem/internal/metrics"
 	"atmem/internal/migrate"
 	"atmem/internal/telemetry"
 )
@@ -150,6 +151,27 @@ func WithScrubber() Option {
 // Options.Retry).
 func WithRetryPolicy(rp migrate.RetryPolicy) Option {
 	return func(o *Options) { o.Retry = rp }
+}
+
+// WithMetrics attaches a live metrics registry (see Options.Metrics).
+// Construct one with NewMetricsRegistry, or share a registry across
+// runtimes to aggregate their series.
+func WithMetrics(m *metrics.Registry) Option {
+	return func(o *Options) { o.Metrics = m }
+}
+
+// WithDebugAddr starts the debug HTTP listener on addr (see
+// Options.DebugAddr): /metrics, /epochz, /healthz, and /debug/pprof/.
+// ":0" picks a free port, readable back via Runtime.DebugAddr. Implies
+// metrics; stop it with Runtime.Close.
+func WithDebugAddr(addr string) Option {
+	return func(o *Options) { o.DebugAddr = addr }
+}
+
+// WithScorecardSink streams every per-epoch placement-quality Scorecard
+// to fn as the epoch boundary computes it (see Options.ScorecardSink).
+func WithScorecardSink(fn func(Scorecard)) Option {
+	return func(o *Options) { o.ScorecardSink = fn }
 }
 
 // WithOptions merges a whole Options struct, for callers migrating from

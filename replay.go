@@ -166,6 +166,7 @@ func (r *Runtime) runEpochReplay(ctx context.Context, name string, body func()) 
 	r.rec.Begin(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "replay": true})
 	rep := EpochReport{Epoch: r.epoch, Replayed: true}
 	phaseStart := len(r.phases)
+	scrubStart := r.scrubChargedNS
 	// Replay runs the same epoch-start health pass as the online loop: a
 	// fault storm during replay must degrade per-region exactly like the
 	// recorded run would have.
@@ -184,6 +185,7 @@ func (r *Runtime) runEpochReplay(ctx context.Context, name string, body func()) 
 	if err == nil {
 		err = r.endEpochHealth(0)
 	}
+	r.finishEpochScorecard(&rep, scrubStart)
 	r.rec.End(0, "epoch", name, telemetry.Args{
 		"epoch":     r.epoch,
 		"replay":    true,
@@ -230,6 +232,7 @@ func (r *Runtime) applyPlanEpoch(ctx context.Context, epoch int) (MigrationRepor
 	finish := func() MigrationReport {
 		gi.state = r.breaker.State()
 		gi.residentBytes = r.resid.ResidentBytes()
+		r.recordOptimizeMetrics(0, 0)
 		r.rec.End(0, "replay", "apply-plan", telemetry.Args{
 			"promoted_bytes": gi.promotedBytes,
 			"demoted_bytes":  gi.demotedBytes,

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atmem/internal/core"
 	"atmem/internal/faultinject"
@@ -79,6 +80,19 @@ type Runtime struct {
 	faultsTraced  int
 	breakerTraced int
 	healthTraced  int
+
+	// Live-metrics state (see metrics.go and debug.go). met is nil when
+	// metrics are off; scorecards accumulates one placement-quality row
+	// per governed epoch (regardless of met); lastScore is the atomic
+	// slot the debug listener's /epochz reads mid-run; scrubChargedNS
+	// totals the simulated time the CRC scrubber has charged (control
+	// plane only — epoch boundaries diff it); debug is the opt-in HTTP
+	// listener.
+	met            *metricsSet
+	scorecards     []Scorecard
+	lastScore      atomic.Pointer[Scorecard]
+	scrubChargedNS uint64
+	debug          *debugServer
 
 	// Overlapped-placement state (see async.go). asyncActive is true
 	// while a background placement worker may run concurrently with
@@ -177,6 +191,14 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	// discipline) or a nesting level with the control track.
 	r.placeTID = p.Threads
 	r.rec.EnsureThreads(p.Threads + 1)
+	r.met = newMetricsSet(o.Metrics)
+	if o.DebugAddr != "" {
+		d, err := startDebugServer(o.DebugAddr, r)
+		if err != nil {
+			return nil, err
+		}
+		r.debug = d
+	}
 	return r, nil
 }
 
@@ -465,9 +487,11 @@ func (r *Runtime) OptimizeCtx(ctx context.Context) (MigrationReport, error) {
 	}
 	optStart := r.simNS.Load()
 	r.rec.Begin(0, "optimize", "optimize", nil)
+	var analyzeNS uint64
 	defer func() {
 		r.logNewFaults(0)
 		r.rec.End(0, "optimize", "optimize", r.optimizeSpanArgs())
+		r.recordOptimizeMetrics(0, analyzeNS)
 	}()
 	free := r.sys.FreeCapacity(memsim.TierFast)
 	if free <= r.opts.CapacityReserve {
@@ -481,7 +505,9 @@ func (r *Runtime) OptimizeCtx(ctx context.Context) (MigrationReport, error) {
 		return r.migrationReport(), nil
 	}
 	budget := free - r.opts.CapacityReserve
+	analyzeStart := time.Now()
 	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver(0))
+	analyzeNS = uint64(time.Since(analyzeStart))
 	if err != nil {
 		return MigrationReport{}, err
 	}
@@ -689,6 +715,7 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 		"tlb_misses": pr.Stats.TLBMisses,
 	})
 	r.emitPhaseMetrics(&pr)
+	r.recordPhaseMetrics(&pr)
 	return pr
 }
 
