@@ -225,6 +225,17 @@ type Options struct {
 	// runs only). The harness uses it to stream scorecard rows into
 	// experiment reports.
 	ScorecardSink func(Scorecard)
+	// Tenant, when non-nil, attaches the runtime to a multi-tenant
+	// broker (see NewBroker): the runtime allocates from the broker's
+	// shared memory system instead of building its own, its governed
+	// placement budget is capped by the broker-granted share (minus its
+	// own quarantine debit), its migrations and health passes serialize
+	// against co-tenants through the broker's placement lock, and each
+	// epoch reports a scorecard signal back to the broker's arbiter.
+	// Implies Governor.Enabled. A FaultSchedule installed by a tenant
+	// runtime hooks the shared system (last writer wins) — aim faults
+	// with range scopes so only the intended tenant's ranges fire.
+	Tenant *Tenant
 }
 
 // HealthOptions configures the tier-health subsystem (see
@@ -307,6 +318,11 @@ func (o *Options) withDefaults() Options {
 		out.CapacityReserve = defaultStagingBytes
 	}
 	if out.Async.Enabled {
+		out.Governor.Enabled = true
+	}
+	if out.Tenant != nil {
+		// Broker budgets are enforced by the governed placement loop;
+		// an ungoverned tenant could not honor its share.
 		out.Governor.Enabled = true
 	}
 	if out.Async.StealFraction == 0 {

@@ -10,7 +10,9 @@ package atmem
 // single-threaded control-plane state.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,6 +20,12 @@ import (
 	"sync"
 	"time"
 )
+
+// healthzQuarantineThreshold is the quarantined-bytes level at which
+// /healthz stops reporting "ok": one health granule (2 MiB) retired is
+// routine attrition, but holding this much of the fast tier hostage
+// means placement quality is measurably degraded.
+const healthzQuarantineThreshold = 2 << 20
 
 // debugServer owns the listener's lifecycle; Runtime.Close shuts it
 // down.
@@ -61,9 +69,26 @@ func startDebugServer(addr string, r *Runtime) (*debugServer, error) {
 			Status           string `json:"status"`
 			Epoch            int    `json:"epoch"`
 			QuarantinedBytes uint64 `json:"quarantined_bytes"`
+			BreakerOpen      bool   `json:"breaker_open"`
+			Shedding         bool   `json:"shedding"`
 		}{Status: "ok", QuarantinedBytes: r.sys.Quarantined()}
 		if sc := r.LastScorecard(); sc != nil {
 			st.Epoch = sc.Epoch
+		}
+		// An honest probe: "ok" only while the placement loop is actually
+		// healthy. The breaker being open or a material slice of the fast
+		// tier sitting in quarantine means degraded service; a broker
+		// actively shedding best-effort tenants outranks both.
+		st.BreakerOpen = r.breakerOpenA.Load()
+		if st.BreakerOpen || st.QuarantinedBytes >= healthzQuarantineThreshold {
+			st.Status = "degraded"
+		}
+		if r.tenant != nil && r.tenant.Broker().Shedding() {
+			st.Shedding = true
+			st.Status = "shedding"
+		}
+		if st.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		_ = json.NewEncoder(w).Encode(st)
 	})
@@ -97,12 +122,37 @@ func (r *Runtime) DebugAddr() string {
 	return r.debug.ln.Addr().String()
 }
 
-// Close releases the runtime's external resources — today the debug
-// listener. Nil-safe and idempotent; a runtime without a debug listener
-// needs no Close.
+// Close releases the runtime's external resources, in dependency
+// order: any in-flight async placement work is drained (so a departing
+// tenant never abandons reserved staging bytes mid-migration), a
+// broker tenant frees its live objects and detaches from the broker
+// (returning its fast-tier share and residency to the shared pool for
+// queued tenants), and the debug listener is shut down. Nil-safe and
+// idempotent; a standalone runtime without a debug listener needs no
+// Close.
 func (r *Runtime) Close() error {
-	if r == nil || r.debug == nil {
+	if r == nil {
 		return nil
 	}
-	return r.debug.close()
+	var errs []error
+	if r.opts.Async.Enabled {
+		if _, err := r.DrainAsync(context.Background()); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if r.tenant != nil {
+		for _, o := range r.Objects() {
+			if err := r.Free(o); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		r.tenant.Depart()
+		r.tenant = nil
+	}
+	if r.debug != nil {
+		if err := r.debug.close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -136,7 +136,12 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	// Epoch-start health pass: fire the fault schedule's epoch-driven
 	// orders and scrub the fast-tier residency, so injected corruption is
 	// detected and repaired before any kernel consumes it (see health.go).
-	if herr := r.beginEpochHealth(0); herr != nil {
+	// On a broker tenant the pass may migrate (emergency demotions), so
+	// it takes the cross-tenant placement lock.
+	r.lockPlacement()
+	herr := r.beginEpochHealth(0)
+	r.unlockPlacement()
+	if herr != nil {
 		r.rec.End(0, "epoch", name, telemetry.Args{"epoch": r.epoch, "error": herr.Error()})
 		return rep, herr
 	}
@@ -168,7 +173,9 @@ func (r *Runtime) RunEpochCtx(ctx context.Context, name string, body func()) (Ep
 	// Epoch-end health pass: evacuate condemned granules and re-snapshot
 	// the settled fast-tier residency for the next epoch's scrub.
 	if err == nil {
+		r.lockPlacement()
 		err = r.endEpochHealth(0)
+		r.unlockPlacement()
 	}
 	r.finishEpochScorecard(&rep, scrubStart)
 	r.rec.End(0, "epoch", name, telemetry.Args{
@@ -191,6 +198,11 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	if !r.profiled {
 		return MigrationReport{}, fmt.Errorf("atmem: Optimize before any profiled samples were attributed")
 	}
+	// Serialize against co-tenants on a shared system: the staging
+	// reservations and the global reserved==0 invariant assume one
+	// migration in flight at a time. No-op on a solo runtime.
+	r.lockPlacement()
+	defer r.unlockPlacement()
 	optStart := r.simNS.Load()
 	r.rec.Begin(tid, "optimize", "optimize", nil)
 	var analyzeNS uint64
@@ -208,6 +220,9 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	finish := func() MigrationReport {
 		gi.state = r.breaker.State()
 		gi.residentBytes = r.resid.ResidentBytes()
+		// Mirror the breaker state atomically for /healthz, which reads
+		// from the debug listener's goroutine mid-run.
+		r.breakerOpenA.Store(gi.state != governor.StateClosed)
 		return r.migrationReport()
 	}
 	emptyStats := func() {
@@ -236,13 +251,33 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 		effFree = free - r.opts.CapacityReserve
 	}
 	budget := effFree + r.registeredFastBytes()
+	if r.tenant != nil {
+		// Broker tenancy: the granted share — already debited by this
+		// tenant's own quarantined bytes, so one tenant's fault storm
+		// shrinks only its own budget — caps the placement budget.
+		// Physical availability (what we hold plus the global headroom)
+		// still bounds it from above.
+		if share := r.tenant.Budget(); share < budget {
+			budget = share
+		}
+	}
 	if budget == 0 {
-		// Nothing resident and no headroom: there is no placement
-		// budget at all (core treats budget 0 as unlimited, so this
-		// cannot fall through to the analyzer). A clean no-op epoch.
-		emptyStats()
-		r.breaker.Observe(false)
-		return finish(), nil
+		if r.tenant != nil {
+			// A tenant with no budget still runs the analyzer with a
+			// 1-byte budget (0 would mean unlimited): for a shed or
+			// fully-debited tenant the empty selection lets the pressure
+			// demotions below drain its residency, and for a fresh tenant
+			// the clipped plan's MarginalDensity is the "I am hungry"
+			// signal the arbiter needs before it can grant a first share.
+			budget = 1
+		} else {
+			// Nothing resident and no headroom: there is no placement
+			// budget at all (core treats budget 0 as unlimited, so this
+			// cannot fall through to the analyzer). A clean no-op epoch.
+			emptyStats()
+			r.breaker.Observe(false)
+			return finish(), nil
+		}
 	}
 	analyzeStart := time.Now()
 	plan, err := core.AnalyzeObserved(r.reg, period, budget, r.stageObserver(tid))
@@ -273,12 +308,20 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	} else {
 		capEff = 0
 	}
+	committed := r.sys.Used(memsim.TierFast)
+	if r.tenant != nil {
+		// Per-tenant watermarks: this tenant's fast footprint pressured
+		// against its own (quarantine-debited) share, so a share cut or
+		// its own fault storm drains this tenant's residency without
+		// touching anyone else's.
+		capEff = r.tenant.Budget()
+		committed = r.sys.TenantUsage(r.tenant.ID()).FastBytes
+	}
 	if capEff > r.opts.CapacityReserve {
 		capEff -= r.opts.CapacityReserve
 	} else {
 		capEff = 0
 	}
-	committed := r.sys.Used(memsim.TierFast)
 	projected := committed + delta.PromoteBytes
 	if projected > delta.DemoteBytes {
 		projected -= delta.DemoteBytes
@@ -287,6 +330,11 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 	}
 	target := governor.DemotionTarget(projected, capEff,
 		r.govCfg.HighWatermark, r.govCfg.LowWatermark)
+	if capEff == 0 {
+		// DemotionTarget treats zero capacity as "no signal"; here it
+		// means the budget is gone entirely — drain everything.
+		target = projected
+	}
 	sched := migrate.Schedule{}
 	for _, rg := range delta.Demotions {
 		sched.Demotions = append(sched.Demotions, migrate.Region{Base: rg.Base, Size: rg.Size})

@@ -391,17 +391,46 @@ func (r *Runtime) evacuateAndRetire(tid int, base, size uint64, reason string) e
 }
 
 // healCondemned evacuates and retires every granule the scoreboard
-// condemned since the last drain.
+// condemned since the last drain. The retire range is clipped to this
+// runtime's own registered objects: health granules are address-space
+// aligned, so on a broker-shared system a condemned granule can spill
+// into a neighbouring tenant's allocations — retiring those would
+// charge the quarantine debit to the wrong fault domain.
 func (r *Runtime) healCondemned(tid int) error {
 	if r.board == nil {
 		return nil
 	}
 	for _, rg := range r.board.DrainCondemned() {
-		if err := r.evacuateAndRetire(tid, rg.Base, rg.Size, "condemned"); err != nil {
-			return err
+		for _, iv := range r.ownedOverlaps(rg.Base, rg.Size) {
+			if err := r.evacuateAndRetire(tid, iv.base, iv.size, "condemned"); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+type addrInterval struct{ base, size uint64 }
+
+// ownedOverlaps intersects [base, base+size) with the runtime's live
+// registered objects, in address order. Object bases and sizes are
+// page-granular, so the intersections stay retirable as-is.
+func (r *Runtime) ownedOverlaps(base, size uint64) []addrInterval {
+	var out []addrInterval
+	end := base + size
+	for _, o := range r.Objects() {
+		lo, hi := o.base, o.base+o.size
+		if lo < base {
+			lo = base
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			out = append(out, addrInterval{base: lo, size: hi - lo})
+		}
+	}
+	return out
 }
 
 // snapshotScrub re-records CRC references and backups for every fully

@@ -58,6 +58,14 @@ type Plan struct {
 	ClippedBytes uint64
 	// Budget echoes the capacity budget applied (0 = unlimited).
 	Budget uint64
+	// MarginalDensity is the density of the hottest range the capacity
+	// budget clipped — the per-byte value the plan would gain from one
+	// more byte of fast memory. Zero when the budget was not binding.
+	MarginalDensity float64
+	// ColdestKeptDensity is the density of the coldest range the plan
+	// kept — the per-byte cost of reclaiming fast memory from this
+	// plan. Zero when nothing was selected.
+	ColdestKeptDensity float64
 }
 
 // DataRatio returns SelectedBytes / TotalBytes — the quantity Figures 7–10
@@ -250,6 +258,9 @@ func AnalyzeObserved(r *Registry, period uint64, budgetBytes uint64, obs StageOb
 		op := &plan.Objects[i]
 		for _, rg := range op.Ranges {
 			plan.SelectedBytes += rg.Size
+			if plan.ColdestKeptDensity == 0 || rg.Density < plan.ColdestKeptDensity {
+				plan.ColdestKeptDensity = rg.Density
+			}
 		}
 	}
 	if obs != nil {
@@ -390,6 +401,9 @@ func clipToBudget(plan *Plan, budget uint64) {
 			dropped[ref] = cut
 			drop = 0
 		}
+		// refs iterate in ascending density, so the last range clipped
+		// from is the hottest denied one.
+		plan.MarginalDensity = rg.Density
 	}
 	for i := range plan.Objects {
 		op := &plan.Objects[i]

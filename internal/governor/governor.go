@@ -121,6 +121,36 @@ func DemotionTarget(projected, capacity uint64, high, low float64) uint64 {
 	return projected - floor
 }
 
+// ShedStep is one rung of a shed ladder: a named share of fast-tier
+// capacity that may be reclaimed wholesale when aggregate pressure
+// demands it. A multi-tenant broker builds the ladder from its
+// best-effort tenants in declared shed-priority order.
+type ShedStep struct {
+	// Name identifies the rung (a tenant name).
+	Name string
+	// Bytes is the fast-tier share reclaiming the rung frees.
+	Bytes uint64
+}
+
+// PlanShed walks the ladder in order and returns how many leading
+// rungs must shed to reclaim at least target bytes — the broker-level
+// analogue of pressure demotion: instead of demoting cold chunks, it
+// drops whole best-effort shares, lowest shed-priority first. When the
+// ladder cannot cover the target every rung sheds.
+func PlanShed(ladder []ShedStep, target uint64) int {
+	if target == 0 {
+		return 0
+	}
+	var freed uint64
+	for i, step := range ladder {
+		freed += step.Bytes
+		if freed >= target {
+			return i + 1
+		}
+	}
+	return len(ladder)
+}
+
 // State is the circuit breaker's state.
 type State int
 

@@ -167,3 +167,28 @@ func TestStateAndDecisionStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanShed(t *testing.T) {
+	ladder := []ShedStep{{"c", 10}, {"b", 20}, {"a", 30}}
+	cases := []struct {
+		target uint64
+		want   int
+	}{
+		{0, 0},
+		{5, 1},
+		{10, 1},
+		{11, 2},
+		{30, 2},
+		{31, 3},
+		{60, 3},
+		{1000, 3}, // ladder cannot cover: shed everything
+	}
+	for _, c := range cases {
+		if got := PlanShed(ladder, c.target); got != c.want {
+			t.Errorf("PlanShed(target=%d) = %d, want %d", c.target, got, c.want)
+		}
+	}
+	if got := PlanShed(nil, 42); got != 0 {
+		t.Errorf("PlanShed(empty ladder) = %d, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strings"
 
 	"atmem"
 	"atmem/apps"
@@ -472,24 +473,43 @@ func armChaosFaults(rt *atmem.Runtime, sc ChaosScenario) error {
 }
 
 // resultCRC checksums every deterministic registered object — the
-// graph arrays and the BFS integer state — in name order. Two runs of
-// the same epoch sequence must produce the same value: placement,
-// faults, and healing may never change a single result byte. The PR
-// rank arrays are excluded: the kernel accumulates with atomic float
-// adds, so their bit patterns vary with thread interleaving even
-// between two fault-free runs; they are compared value-wise instead
-// (see RunChaosSoak) and against the serial reference by Validate.
+// graph arrays and the kernels' converged integer results — in name
+// order. Two runs of the same epoch sequence must produce the same
+// value: placement, faults, and healing may never change a single
+// result byte. Excluded are the scratch arrays (frontiers, merge
+// buffers, claim stamps): the fixed point they drive toward is exact,
+// but their residue — which round each vertex was claimed in, what a
+// merge buffer held past its final length — depends on thread
+// interleaving. The PR rank arrays and BC's accumulators are excluded
+// for the same reason at the value level: atomic float adds reorder
+// between runs; they are compared value-wise instead (see RunChaosSoak)
+// and against the serial reference by Validate.
 func resultCRC(rt *atmem.Runtime) uint32 {
 	objs := rt.Objects()
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Name() < objs[j].Name() })
 	crc := crc32.NewIEEE()
 	for _, o := range objs {
-		if o.Name() == "pr.rank" || o.Name() == "pr.next" {
+		if scratchObject(o.Name()) {
 			continue
 		}
 		crc.Write(o.Bytes())
 	}
 	return crc.Sum32()
+}
+
+// scratchObject reports whether the named object's bytes are
+// interleaving-dependent and must stay out of determinism checksums.
+func scratchObject(name string) bool {
+	for _, suffix := range []string{".frontier", ".next", ".stamp"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	switch name {
+	case "pr.rank", "bc.sigma", "bc.delta", "bc.score":
+		return true
+	}
+	return false
 }
 
 // chaosSoak is the experiment wrapper: one faulted run rendered as one

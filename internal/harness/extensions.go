@@ -25,6 +25,7 @@ func ExtensionExperiments() []Experiment {
 		{ID: "adaptive-pressure", Title: "Epoch-adaptive governor: hot-set shift under a tightening budget, with and without faults", Run: adaptivePressure},
 		{ID: "overlap", Title: "Overlapped background placement vs stop-the-world epochs (adaptive-pressure scenario)", Run: overlapComparison},
 		{ID: "chaos-soak", Title: "Chaos soak: self-healing placement under escalating persistent faults and corruption", Run: chaosSoak},
+		{ID: "serving", Title: "Multi-tenant broker: fast-tier isolation, admission control, and SLO-aware degradation under storms", Run: serving},
 	}
 }
 

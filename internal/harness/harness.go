@@ -347,6 +347,10 @@ type Suite struct {
 	// their runtime when done, so one fixed address serves them all; the
 	// short memoized Run configurations never bind it.
 	DebugAddr string
+	// ServingTenants, when > 0, trims the serving experiment's cast to
+	// the first N tenants of the default scenario (minimum 2 so the
+	// storm victim stays in) — atmem-bench -serving-tenants.
+	ServingTenants int
 }
 
 // NewSuite builds an empty suite.

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"atmem"
+)
+
+func logServingEpochs(t *testing.T, res *ServingResult) {
+	t.Helper()
+	for _, e := range res.Epochs {
+		t.Logf("round %2d %-8s epoch %2d share=%.3f solo=%.3f phase=%.4fs slo=%.4fs grant=%dMiB quar=%d shed=%t breaker=%s",
+			e.Round, e.Tenant, e.Epoch, e.FastShare, e.SoloFastShare,
+			e.PhaseSeconds, e.SLO, e.ShareBytes>>20, e.QuarantinedBytes, e.Shed, e.Breaker)
+	}
+}
+
+// TestServing is the serving scenario's acceptance run and CI's smoke
+// step in one: four tenants share the broker-arbitrated fast tier
+// through arrivals, a departure, and a mid-run persistent-fault +
+// corruption storm against one of them. RunServing itself enforces the
+// isolation bars (solo-mean fast share, per-epoch phase SLO, victim
+// recovery, bit-identical results, admission never oversubscribing,
+// leak-free teardown); the assertions below pin the surrounding
+// structure. Set ATMEM_SERVING_OUT to a directory to keep the victim's
+// trace + scorecard artifacts (CI uploads them).
+func TestServing(t *testing.T) {
+	dir := os.Getenv("ATMEM_SERVING_OUT")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	sc := DefaultServingScenario()
+	sc.TraceDir = dir
+	res, err := RunServing(sc)
+	if res != nil {
+		logServingEpochs(t, res)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every tenant-round produced exactly one scorecarded epoch.
+	want := 0
+	for _, tc := range sc.Tenants {
+		want += sc.tenantRounds(tc)
+	}
+	if got := len(res.Epochs); got != want {
+		t.Errorf("recorded %d tenant-epochs, want %d", got, want)
+	}
+	// Every tenant's shared-run results were checked against its solo
+	// baseline (finishMember fails otherwise, but the map proves all
+	// four got there).
+	if got := len(res.CRCs); got != len(sc.Tenants) {
+		t.Errorf("result CRCs for %d tenants, want %d", got, len(sc.Tenants))
+	}
+	// The oversubscription probe fired and was a typed admission error.
+	if !errors.Is(res.RejectErr, atmem.ErrAdmission) {
+		t.Errorf("oversubscription probe error = %v, want ErrAdmission", res.RejectErr)
+	}
+	// The storm actually cost the victim fast-tier capacity.
+	if res.VictimQuarantined == 0 {
+		t.Error("victim has no quarantine debit — the storm never landed")
+	}
+	// The arbiter did real work: at least one rebalance granted share.
+	granted := 0
+	for _, rr := range res.Rebalances {
+		if rr.GrantedTo != "" {
+			granted++
+		}
+	}
+	if granted == 0 {
+		t.Error("no rebalance round granted share to a hungry tenant")
+	}
+
+	// The victim's artifacts: a parseable trace plus timeline, heat, and
+	// scorecard companions.
+	if res.TracePath == "" {
+		t.Fatal("no trace written")
+	}
+	stem := strings.TrimSuffix(res.TracePath, ".trace.json")
+	for _, suffix := range []string{".trace.json", ".timeline.csv", ".heat.csv"} {
+		st, err := os.Stat(stem + suffix)
+		if err != nil {
+			t.Errorf("missing artifact: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", stem+suffix)
+		}
+	}
+	data, err := os.ReadFile(stem + ".scorecards.json")
+	if err != nil {
+		t.Fatalf("missing scorecards artifact: %v", err)
+	}
+	var cards []atmem.Scorecard
+	if err := json.Unmarshal(data, &cards); err != nil {
+		t.Fatalf("scorecards artifact not valid JSON: %v", err)
+	}
+	victimEpochs := 0
+	for _, e := range res.Epochs {
+		if e.Tenant == "bravo" {
+			victimEpochs++
+		}
+	}
+	if len(cards) != victimEpochs {
+		t.Errorf("scorecards artifact has %d cards for %d victim epochs", len(cards), victimEpochs)
+	}
+}
+
+// TestServingScenarioValidates pins the scenario preconditions: exactly
+// one victim.
+func TestServingScenarioValidates(t *testing.T) {
+	sc := DefaultServingScenario()
+	for i := range sc.Tenants {
+		sc.Tenants[i].Victim = true
+	}
+	if _, err := RunServing(sc); err == nil {
+		t.Fatal("scenario with every tenant a victim was accepted")
+	}
+	for i := range sc.Tenants {
+		sc.Tenants[i].Victim = false
+	}
+	if _, err := RunServing(sc); err == nil {
+		t.Fatal("scenario with no victim was accepted")
+	}
+}

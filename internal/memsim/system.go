@@ -121,6 +121,13 @@ type System struct {
 	// Degraded ranges, published as an immutable slice so the accessor
 	// miss path reads them with one atomic load (nil means none).
 	degrades atomic.Pointer[[]DegradedRange]
+
+	// Tenant sub-ledgers (tenant.go): adopted owner ranges sorted by
+	// base, and per-owner fast/quarantine counters. Guarded by mu;
+	// empty on a single-tenant system, costing the mutation paths one
+	// length check.
+	owners  []ownerRange
+	tenants map[int]*tenantUsage
 }
 
 // sync word layout: shootdown generation in the low syncGenBits bits,
@@ -317,10 +324,14 @@ func (s *System) Free(base, size uint64) error {
 			return err
 		}
 		ledgerSub(&s.used[pi.Tier], SmallPage)
+		s.tenantFreeLocked(i<<smallShift, pi.Tier)
 	}
 	for i := first; i < first+n; i++ {
 		s.pt.set(i, PageInfo{})
 	}
+	// A freed range stops being owned: its remaining (slow-tier) bytes
+	// and any quarantine overlap no longer charge the tenant.
+	s.disownLocked(base, mapped)
 	return nil
 }
 
@@ -376,6 +387,7 @@ func (s *System) retierLocked(base, size uint64, t Tier) error {
 		s.pt.markBusy(i)
 		ledgerSub(&s.used[pi.Tier], SmallPage)
 		ledgerAdd(&s.used[t], SmallPage)
+		s.tenantRetierLocked(i<<smallShift, pi.Tier, t)
 		pi.Tier = t
 		s.pt.set(i, pi)
 	}
@@ -570,6 +582,7 @@ func (s *System) RestoreTiers(base uint64, tiers []Tier) error {
 		s.pt.markBusy(vpage)
 		ledgerSub(&s.used[pi.Tier], SmallPage)
 		ledgerAdd(&s.used[t], SmallPage)
+		s.tenantRetierLocked(vpage<<smallShift, pi.Tier, t)
 		pi.Tier = t
 		s.pt.set(vpage, pi)
 	}
@@ -723,6 +736,9 @@ func (s *System) RetirePages(base, size uint64) error {
 		return fmt.Errorf("%w: tier %s: retiring %d bytes", ErrNoCapacity, TierFast, adding)
 	}
 	s.quarRanges = append(s.quarRanges, adds...)
+	for _, add := range adds {
+		s.tenantRetireLocked(add.Base, add.Size)
+	}
 	s.quarantined.Add(adding)
 	s.healthGen.Add(1)
 	return nil
@@ -873,5 +889,5 @@ func (s *System) CheckConsistency() error {
 		return fmt.Errorf("memsim: quarantine drift: ranges cover %d bytes, ledger says %d",
 			quarTotal, s.quarantined.Load())
 	}
-	return nil
+	return s.checkTenantsLocked()
 }

@@ -1,0 +1,172 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// TestTenantLedgerRetier pins the sub-ledger across the tier-mutation
+// points: adoption snapshots current placement, retiers move the fast
+// charge between owners and the unowned pool, and CheckConsistency
+// recomputes the counters.
+func TestTenantLedgerRetier(t *testing.T) {
+	s := NewSystem(testParams())
+	a, err := s.Alloc(8*SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(4*SmallPage, TierFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdoptRange(1, a, 8*SmallPage)
+	s.AdoptRange(2, b, 4*SmallPage)
+	if got := s.TenantUsage(1).FastBytes; got != 0 {
+		t.Fatalf("tenant 1 fast = %d, want 0", got)
+	}
+	if got := s.TenantUsage(2).FastBytes; got != 4*SmallPage {
+		t.Fatalf("tenant 2 fast = %d, want %d", got, 4*SmallPage)
+	}
+
+	if err := s.Retier(a, 2*SmallPage, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(b, 1*SmallPage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantUsage(1).FastBytes; got != 2*SmallPage {
+		t.Errorf("tenant 1 fast = %d, want %d", got, 2*SmallPage)
+	}
+	if got := s.TenantUsage(2).FastBytes; got != 3*SmallPage {
+		t.Errorf("tenant 2 fast = %d, want %d", got, 3*SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// RestoreTiers (the rollback primitive) keeps the sub-ledger too.
+	snap, err := s.TierSnapshot(a, 2*SmallPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retier(a, 2*SmallPage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreTiers(a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantUsage(1).FastBytes; got != 2*SmallPage {
+		t.Errorf("tenant 1 fast after restore = %d, want %d", got, 2*SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantLedgerQuarantineAndFree pins quarantine attribution — a
+// retirement inside an owned range debits the owner — and that Free
+// disowns the range, returning its charges to the unowned pool.
+func TestTenantLedgerQuarantineAndFree(t *testing.T) {
+	s := NewSystem(testParams())
+	a, err := s.Alloc(8*SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdoptRange(7, a, 8*SmallPage)
+	if err := s.RetirePages(a, 2*SmallPage); err != nil {
+		t.Fatal(err)
+	}
+	u := s.TenantUsage(7)
+	if u.QuarantinedBytes != 2*SmallPage {
+		t.Errorf("quarantined debit = %d, want %d", u.QuarantinedBytes, 2*SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Free(a, 8*SmallPage); err != nil {
+		t.Fatal(err)
+	}
+	u = s.TenantUsage(7)
+	if u.FastBytes != 0 || u.QuarantinedBytes != 0 {
+		t.Errorf("after free: usage = %+v, want zero", u)
+	}
+	if got := s.Quarantined(); got != 2*SmallPage {
+		t.Errorf("global quarantine = %d, want %d (retired pages stay retired)", got, 2*SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantLedgerPartialPage pins byte-granular attribution: an
+// adopted range that ends mid-page (real graph objects rarely end on a
+// page boundary) charges only its owned bytes at every mutation point,
+// so the incremental counters match the recomputed ledger exactly.
+func TestTenantLedgerPartialPage(t *testing.T) {
+	s := NewSystem(testParams())
+	const size = 3*SmallPage + 8 // last page only 8 bytes owned
+	a, err := s.Alloc(size, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdoptRange(1, a, size)
+	if got := s.TenantUsage(1).FastBytes; got != 0 {
+		t.Fatalf("fast before retier = %d, want 0", got)
+	}
+
+	// Promote the whole (page-rounded) allocation: the owner is charged
+	// for its owned bytes only, not the 4 mapped pages.
+	mapped := uint64(4 * SmallPage)
+	if err := s.Retier(a, mapped, TierFast); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantUsage(1).FastBytes; got != size {
+		t.Errorf("fast after promote = %d, want %d", got, size)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Demote just the partially-owned last page: only the 8 owned bytes
+	// come off the counter.
+	if err := s.Retier(a+3*SmallPage, SmallPage, TierSlow); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantUsage(1).FastBytes; got != 3*SmallPage {
+		t.Errorf("fast after partial demote = %d, want %d", got, 3*SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Free(a, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantUsage(1).FastBytes; got != 0 {
+		t.Errorf("fast after free = %d, want 0", got)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantAdoptSeesQuarantine: adopting a range that already overlaps
+// the quarantine ledger inherits the debit (a tenant that maps around
+// damaged space still pays for what its span retired).
+func TestTenantAdoptSeesQuarantine(t *testing.T) {
+	s := NewSystem(testParams())
+	a, err := s.Alloc(4*SmallPage, TierSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RetirePages(a, SmallPage); err != nil {
+		t.Fatal(err)
+	}
+	s.AdoptRange(3, a, 4*SmallPage)
+	if got := s.TenantUsage(3).QuarantinedBytes; got != SmallPage {
+		t.Errorf("adopted quarantine debit = %d, want %d", got, SmallPage)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

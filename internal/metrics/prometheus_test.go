@@ -28,6 +28,14 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(1 << 20)
 	h.Observe(1 << 62) // beyond the finite buckets: +Inf only
 	r.Counter("esc_total", `help with \ backslash`+"\nand newline", Labels{"path": `a"b\c`}).Inc(0)
+	// Multi-tenant series: the broker attaches a "tenant" label to every
+	// family of a tenant runtime. Label keys render alphabetically
+	// ("tenant" < "tier"), and series within a family order by their
+	// canonical label string — pin both.
+	r.Counter("atmem_tier_write_bytes_total", "Bytes written per tier.", Labels{"tenant": "analytics", "tier": "dram"}).Add(0, 128)
+	r.Counter("atmem_tier_write_bytes_total", "Bytes written per tier.", Labels{"tenant": "batch", "tier": "dram"}).Add(0, 256)
+	r.Counter("atmem_tier_write_bytes_total", "Bytes written per tier.", Labels{"tenant": "analytics", "tier": "optane"}).Add(0, 64)
+	r.Gauge("atmem_scorecard_fast_access_share", "Fraction of traffic served fast.", Labels{"tenant": "analytics"}).Set(0.875)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

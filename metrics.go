@@ -84,54 +84,67 @@ type metricsSet struct {
 }
 
 // newMetricsSet registers the runtime's instrument families on reg (nil
-// reg → nil set, metrics off).
-func newMetricsSet(reg *metrics.Registry) *metricsSet {
+// reg → nil set, metrics off). A non-empty tenant name is merged into
+// every family's labels, so tenant runtimes sharing one registry (the
+// broker serving setup) expose distinguishable series from a single
+// /metrics endpoint.
+func newMetricsSet(reg *metrics.Registry, tenant string) *metricsSet {
 	if reg == nil {
 		return nil
 	}
-	m := &metricsSet{reg: reg}
-	m.phases = reg.Counter("atmem_phases_total", "Kernel phases run.", nil)
-	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
-		lbl := metrics.Labels{"tier": t.String()}
-		m.tierRead[t] = reg.Counter("atmem_tier_read_bytes_total", "Bytes read from the tier by kernel phases.", lbl)
-		m.tierWrite[t] = reg.Counter("atmem_tier_write_bytes_total", "Bytes written to the tier by kernel phases.", lbl)
-		m.tierWriteback[t] = reg.Counter("atmem_tier_writeback_bytes_total", "Cache writeback bytes to the tier.", lbl)
-		m.tierMapped[t] = reg.Gauge("atmem_tier_mapped_bytes", "Mapped bytes on the tier.", lbl)
-		m.tierReserved[t] = reg.Gauge("atmem_tier_reserved_bytes", "Staging-reserved bytes on the tier.", lbl)
+	lbl := func(extra metrics.Labels) metrics.Labels {
+		if tenant == "" {
+			return extra
+		}
+		out := metrics.Labels{"tenant": tenant}
+		for k, v := range extra {
+			out[k] = v
+		}
+		return out
 	}
-	m.shootdownsApplied = reg.Counter("atmem_tlb_shootdowns_applied_total", "Published TLB shootdowns applied by accessors.", nil)
-	m.phaseNS = reg.Histogram("atmem_phase_duration_ns", "Simulated wall time per kernel phase (ns).", nil)
+	m := &metricsSet{reg: reg}
+	m.phases = reg.Counter("atmem_phases_total", "Kernel phases run.", lbl(nil))
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		tl := lbl(metrics.Labels{"tier": t.String()})
+		m.tierRead[t] = reg.Counter("atmem_tier_read_bytes_total", "Bytes read from the tier by kernel phases.", tl)
+		m.tierWrite[t] = reg.Counter("atmem_tier_write_bytes_total", "Bytes written to the tier by kernel phases.", tl)
+		m.tierWriteback[t] = reg.Counter("atmem_tier_writeback_bytes_total", "Cache writeback bytes to the tier.", tl)
+		m.tierMapped[t] = reg.Gauge("atmem_tier_mapped_bytes", "Mapped bytes on the tier.", tl)
+		m.tierReserved[t] = reg.Gauge("atmem_tier_reserved_bytes", "Staging-reserved bytes on the tier.", tl)
+	}
+	m.shootdownsApplied = reg.Counter("atmem_tlb_shootdowns_applied_total", "Published TLB shootdowns applied by accessors.", lbl(nil))
+	m.phaseNS = reg.Histogram("atmem_phase_duration_ns", "Simulated wall time per kernel phase (ns).", lbl(nil))
 
-	m.analyzeNS = reg.Histogram("atmem_optimize_analyze_ns", "Host wall time of the two-stage analyzer per Optimize (ns; analysis has no modelled cost).", nil)
-	m.migrateNS = reg.Histogram("atmem_optimize_migrate_ns", "Modelled migration time per Optimize (ns).", nil)
-	m.movedBytes = reg.Counter("atmem_migration_moved_bytes_total", "Bytes that changed tier.", nil)
-	m.promotedBytes = reg.Counter("atmem_migration_promoted_bytes_total", "Bytes promoted to the fast tier (governed runs).", nil)
-	m.demotedBytes = reg.Counter("atmem_migration_demoted_bytes_total", "Bytes demoted to the large tier (governed runs).", nil)
-	m.pagesMoved = reg.Counter("atmem_migration_pages_moved_total", "4 KiB pages migrated.", nil)
-	m.hugeSplits = reg.Counter("atmem_migration_huge_pages_split_total", "2 MiB mappings splintered by migration.", nil)
-	m.tlbShootdowns = reg.Counter("atmem_migration_tlb_shootdowns_total", "Modelled shootdown IPIs issued by migration.", nil)
-	m.regionsMigrated = reg.Counter("atmem_migration_regions_migrated_total", "Regions migrated on the first try.", nil)
-	m.regionsRetried = reg.Counter("atmem_migration_regions_retried_total", "Regions that needed the degradation ladder.", nil)
-	m.regionsSkipped = reg.Counter("atmem_migration_regions_skipped_total", "Regions left on their original tier.", nil)
-	m.breakerState = reg.Gauge("atmem_governor_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open).", nil)
-	m.residentBytes = reg.Gauge("atmem_governor_resident_bytes", "Fast-resident bytes the governor tracks.", nil)
+	m.analyzeNS = reg.Histogram("atmem_optimize_analyze_ns", "Host wall time of the two-stage analyzer per Optimize (ns; analysis has no modelled cost).", lbl(nil))
+	m.migrateNS = reg.Histogram("atmem_optimize_migrate_ns", "Modelled migration time per Optimize (ns).", lbl(nil))
+	m.movedBytes = reg.Counter("atmem_migration_moved_bytes_total", "Bytes that changed tier.", lbl(nil))
+	m.promotedBytes = reg.Counter("atmem_migration_promoted_bytes_total", "Bytes promoted to the fast tier (governed runs).", lbl(nil))
+	m.demotedBytes = reg.Counter("atmem_migration_demoted_bytes_total", "Bytes demoted to the large tier (governed runs).", lbl(nil))
+	m.pagesMoved = reg.Counter("atmem_migration_pages_moved_total", "4 KiB pages migrated.", lbl(nil))
+	m.hugeSplits = reg.Counter("atmem_migration_huge_pages_split_total", "2 MiB mappings splintered by migration.", lbl(nil))
+	m.tlbShootdowns = reg.Counter("atmem_migration_tlb_shootdowns_total", "Modelled shootdown IPIs issued by migration.", lbl(nil))
+	m.regionsMigrated = reg.Counter("atmem_migration_regions_migrated_total", "Regions migrated on the first try.", lbl(nil))
+	m.regionsRetried = reg.Counter("atmem_migration_regions_retried_total", "Regions that needed the degradation ladder.", lbl(nil))
+	m.regionsSkipped = reg.Counter("atmem_migration_regions_skipped_total", "Regions left on their original tier.", lbl(nil))
+	m.breakerState = reg.Gauge("atmem_governor_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open).", lbl(nil))
+	m.residentBytes = reg.Gauge("atmem_governor_resident_bytes", "Fast-resident bytes the governor tracks.", lbl(nil))
 
-	m.quarantinedBytes = reg.Gauge("atmem_health_quarantined_bytes", "Fast-tier capacity retired into the quarantine ledger.", nil)
-	m.scrubbedBytes = reg.Counter("atmem_health_scrubbed_bytes_total", "Bytes the CRC scrubber verified.", nil)
-	m.crcDetected = reg.Counter("atmem_health_corruptions_detected_total", "Scrubber CRC mismatches.", nil)
-	m.crcRepaired = reg.Counter("atmem_health_corruptions_repaired_total", "Corruptions repaired from the scrub backup.", nil)
-	m.emergDemotions = reg.Counter("atmem_health_emergency_demotions_total", "Chunks demoted off failing fast pages.", nil)
-	m.promosVetoed = reg.Counter("atmem_health_promotions_vetoed_total", "Promotion regions dropped by the health veto.", nil)
+	m.quarantinedBytes = reg.Gauge("atmem_health_quarantined_bytes", "Fast-tier capacity retired into the quarantine ledger.", lbl(nil))
+	m.scrubbedBytes = reg.Counter("atmem_health_scrubbed_bytes_total", "Bytes the CRC scrubber verified.", lbl(nil))
+	m.crcDetected = reg.Counter("atmem_health_corruptions_detected_total", "Scrubber CRC mismatches.", lbl(nil))
+	m.crcRepaired = reg.Counter("atmem_health_corruptions_repaired_total", "Corruptions repaired from the scrub backup.", lbl(nil))
+	m.emergDemotions = reg.Counter("atmem_health_emergency_demotions_total", "Chunks demoted off failing fast pages.", lbl(nil))
+	m.promosVetoed = reg.Counter("atmem_health_promotions_vetoed_total", "Promotion regions dropped by the health veto.", lbl(nil))
 
-	m.epochs = reg.Counter("atmem_epochs_total", "Governed epochs completed.", nil)
-	m.epochsSkipped = reg.Counter("atmem_epochs_breaker_skipped_total", "Epochs the open breaker skipped migration for.", nil)
-	m.samples = reg.Counter("atmem_profiler_samples_total", "Profiler samples attributed to registered objects.", nil)
-	m.epochNS = reg.Histogram("atmem_epoch_duration_ns", "Simulated time per governed epoch: phases plus charged migration (ns).", nil)
-	m.scoreEpoch = reg.Gauge("atmem_scorecard_epoch", "Epoch the scorecard gauges describe.", nil)
-	m.scoreFastShare = reg.Gauge("atmem_scorecard_fast_access_share", "Fraction of phase traffic served by the fast tier.", nil)
-	m.scoreResidEff = reg.Gauge("atmem_scorecard_fast_residency_efficiency", "Fast bytes touched per fast-resident byte.", nil)
-	m.scoreMigEff = reg.Gauge("atmem_scorecard_migration_efficiency", "Fast bytes touched per byte moved this epoch.", nil)
-	m.scoreOverhead = reg.Gauge("atmem_scorecard_overhead_tax", "(scrub + profiling overhead) / phase seconds.", nil)
+	m.epochs = reg.Counter("atmem_epochs_total", "Governed epochs completed.", lbl(nil))
+	m.epochsSkipped = reg.Counter("atmem_epochs_breaker_skipped_total", "Epochs the open breaker skipped migration for.", lbl(nil))
+	m.samples = reg.Counter("atmem_profiler_samples_total", "Profiler samples attributed to registered objects.", lbl(nil))
+	m.epochNS = reg.Histogram("atmem_epoch_duration_ns", "Simulated time per governed epoch: phases plus charged migration (ns).", lbl(nil))
+	m.scoreEpoch = reg.Gauge("atmem_scorecard_epoch", "Epoch the scorecard gauges describe.", lbl(nil))
+	m.scoreFastShare = reg.Gauge("atmem_scorecard_fast_access_share", "Fraction of phase traffic served by the fast tier.", lbl(nil))
+	m.scoreResidEff = reg.Gauge("atmem_scorecard_fast_residency_efficiency", "Fast bytes touched per fast-resident byte.", lbl(nil))
+	m.scoreMigEff = reg.Gauge("atmem_scorecard_migration_efficiency", "Fast bytes touched per byte moved this epoch.", lbl(nil))
+	m.scoreOverhead = reg.Gauge("atmem_scorecard_overhead_tax", "(scrub + profiling overhead) / phase seconds.", lbl(nil))
 	return m
 }
 
@@ -335,4 +348,6 @@ func (r *Runtime) finishEpochScorecard(rep *EpochReport, scrubStartNS uint64) {
 	if r.opts.ScorecardSink != nil {
 		r.opts.ScorecardSink(sc)
 	}
+	// Feed the broker's arbiter on a tenant runtime (see broker.go).
+	r.reportTenantSignal(&sc)
 }

@@ -174,6 +174,15 @@ func WithScorecardSink(fn func(Scorecard)) Option {
 	return func(o *Options) { o.ScorecardSink = fn }
 }
 
+// WithTenant attaches the runtime to a multi-tenant broker as the
+// given admitted tenant (see NewBroker and Options.Tenant): the
+// runtime shares the broker's memory system, honors its granted
+// fast-tier share as the placement budget, and reports per-epoch
+// signals to the broker's arbiter. Implies the governor.
+func WithTenant(t *Tenant) Option {
+	return func(o *Options) { o.Tenant = t }
+}
+
 // WithOptions merges a whole Options struct, for callers migrating from
 // the deprecated NewRuntime signature one step at a time.
 func WithOptions(full Options) Option {

@@ -94,6 +94,16 @@ type Runtime struct {
 	scrubChargedNS uint64
 	debug          *debugServer
 
+	// Multi-tenant attachment (see broker.go). tenant is non-nil while
+	// the runtime is admitted to a broker: the memory system is the
+	// broker's shared one, Malloc adopts allocations into the tenant's
+	// memsim sub-ledger, the governed budget is capped by the granted
+	// share, and Close departs. breakerOpenA mirrors the breaker's
+	// open/half-open state atomically for the debug listener's /healthz
+	// (the breaker itself is single-threaded control-plane state).
+	tenant       *Tenant
+	breakerOpenA atomic.Bool
+
 	// Overlapped-placement state (see async.go). asyncActive is true
 	// while a background placement worker may run concurrently with
 	// kernels: migration then publishes invalidations through the
@@ -129,6 +139,12 @@ func NewRuntime(tb Testbed, opts ...Options) (*Runtime, error) {
 func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	o = o.withDefaults()
 	p := tb.params
+	if o.Tenant != nil {
+		// A tenant runtime lives on its broker's shared system: the
+		// broker's parameters are the ground truth (the testbed argument
+		// only shapes this runtime's accessor count via Threads).
+		p = o.Tenant.Broker().System().P
+	}
 	if o.Threads > 0 {
 		p.Threads = o.Threads
 	}
@@ -142,9 +158,14 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	r := &Runtime{
 		testbed: tb,
 		opts:    o,
-		sys:     memsim.NewSystem(p),
+		tenant:  o.Tenant,
 		reg:     core.NewRegistry(o.Analyzer),
 		objects: make(map[uint64]*Object),
+	}
+	if o.Tenant != nil {
+		r.sys = o.Tenant.Broker().System()
+	} else {
+		r.sys = memsim.NewSystem(p)
 	}
 	if o.FaultSchedule != nil {
 		r.faults = faultinject.New(*o.FaultSchedule)
@@ -191,7 +212,11 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	// discipline) or a nesting level with the control track.
 	r.placeTID = p.Threads
 	r.rec.EnsureThreads(p.Threads + 1)
-	r.met = newMetricsSet(o.Metrics)
+	tenantLabel := ""
+	if o.Tenant != nil {
+		tenantLabel = o.Tenant.Name()
+	}
+	r.met = newMetricsSet(o.Metrics, tenantLabel)
 	if o.DebugAddr != "" {
 		d, err := startDebugServer(o.DebugAddr, r)
 		if err != nil {
@@ -314,6 +339,12 @@ func (r *Runtime) Malloc(name string, size uint64) (*Object, error) {
 		do:   do,
 	}
 	r.objects[base] = o
+	if r.tenant != nil {
+		// Adopt the range into the tenant's memsim sub-ledger so the
+		// broker can attribute fast-tier bytes and quarantine debits to
+		// this tenant. Free disowns automatically.
+		r.sys.AdoptRange(r.tenant.ID(), base, size)
+	}
 	return o, nil
 }
 
@@ -678,8 +709,10 @@ func (r *Runtime) RunPhase(name string, kernel func(c *Ctx)) PhaseResult {
 	// accessors are sealed for the duration: the per-access cross-thread
 	// check disappears entirely and every hot-path touch is
 	// accessor-private. Under async placement the full one-load protocol
-	// stays on.
-	sealed := !r.asyncActive.Load()
+	// stays on — and likewise on a broker tenant, whose co-tenants may
+	// migrate their own ranges on the shared system while this phase
+	// runs.
+	sealed := !r.asyncActive.Load() && r.tenant == nil
 	for _, a := range r.accessors {
 		a.ResetCounters()
 		// Apply shootdowns published since the thread's last access, so
