@@ -21,6 +21,13 @@
 //
 //	atmem-bench -trace traces adaptive-pressure
 //	atmem-report -scorecard -format md traces/*.scorecards.json
+//
+// With -shootout the input is the policy-shootout.json artifact written
+// by the policy-shootout experiment, rendered as the per-kernel
+// per-policy scorecard table with gap-to-oracle percentages:
+//
+//	atmem-bench -trace traces policy-shootout
+//	atmem-report -shootout -format md traces/policy-shootout.json
 package main
 
 import (
@@ -39,9 +46,10 @@ func main() {
 	format := flag.String("format", "md", "output format: text, csv, md")
 	timeline := flag.Bool("timeline", false, "inputs are telemetry trace JSON; render them as timelines (text or md)")
 	scorecard := flag.Bool("scorecard", false, "inputs are scorecard JSON (a *.scorecards.json artifact or one /epochz object); render the placement-quality table")
+	shootout := flag.Bool("shootout", false, "inputs are policy-shootout.json artifacts; render the per-kernel per-policy table with gap-to-oracle")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: atmem-report [-timeline|-scorecard] [-format text|csv|md] <results.json|trace.json|scorecards.json|->")
+		fmt.Fprintln(os.Stderr, "usage: atmem-report [-timeline|-scorecard|-shootout] [-format text|csv|md] <results.json|trace.json|scorecards.json|policy-shootout.json|->")
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
@@ -62,6 +70,10 @@ func main() {
 		}
 		if *scorecard {
 			renderScorecards(path, rd, *format)
+			continue
+		}
+		if *shootout {
+			renderShootout(path, rd, *format)
 			continue
 		}
 		reports, err := harness.ReadJSONReports(rd)
@@ -161,6 +173,34 @@ func renderScorecards(path string, rd io.Reader, format string) {
 		err = rep.WriteMarkdown(os.Stdout)
 	default:
 		fatal("unknown scorecard format %q (want text, md, or csv)", format)
+	}
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+}
+
+// renderShootout renders a policy-shootout.json artifact as the
+// per-kernel per-policy scorecard table.
+func renderShootout(path string, rd io.Reader, format string) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+	var res harness.ShootoutResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		fatal("%s: not policy-shootout JSON: %v", path, err)
+	}
+	rep := harness.ShootoutReportOf(&res)
+	switch format {
+	case "text":
+		err = rep.WriteText(os.Stdout)
+		fmt.Println()
+	case "csv":
+		err = rep.WriteCSV(os.Stdout)
+	case "md":
+		err = rep.WriteMarkdown(os.Stdout)
+	default:
+		fatal("unknown shootout format %q (want text, md, or csv)", format)
 	}
 	if err != nil {
 		fatal("%s: %v", path, err)

@@ -61,7 +61,7 @@ func record(args []string) {
 		tb = atmem.MCDRAMDRAM()
 	}
 	// Period 1 captures the complete demand-miss stream.
-	rt, err := atmem.New(tb, atmem.WithPolicy(atmem.PolicyATMem), atmem.WithSamplePeriod(1))
+	rt, err := atmem.New(tb, atmem.WithPlacementPolicy(atmem.PaperPolicy()), atmem.WithSamplePeriod(1))
 	if err != nil {
 		fatal("%v", err)
 	}

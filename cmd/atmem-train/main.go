@@ -1,0 +1,84 @@
+// Command atmem-train trains the learned placement policy's pairwise
+// ranker offline and writes its weights as JSON for
+// atmem.LearnedPolicy(path).
+//
+// Training data comes from the same two-pass collection the
+// policy-shootout experiment uses, both passes on a WARM iteration:
+// for each kernel, a full-traffic recording (Runtime.TrafficTrace —
+// prefetched fills, writebacks, and grain amplification included)
+// labels the true per-chunk device-byte heat, and a separate sampled
+// profile at the deployed period records the features — so the ranker
+// learns the deployment-time mapping from cheap sampled signals to
+// true hotness.
+//
+// Usage:
+//
+//	atmem-train -out weights.json
+//	atmem-train -testbed nvm -dataset pokec -apps bfs,pr,spmv -iters 400 -out weights.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atmem/internal/core"
+	"atmem/internal/harness"
+)
+
+func main() {
+	testbed := flag.String("testbed", "nvm", "testbed id (nvm or knl)")
+	dataset := flag.String("dataset", "pokec", "dataset the training kernels run on")
+	appsFlag := flag.String("apps", strings.Join(harness.ShootoutApps, ","), "comma-separated kernel list to collect training data from")
+	out := flag.String("out", "weights.json", "output path for the trained weights JSON")
+	iters := flag.Int("iters", 0, "gradient-descent iterations (0 = default)")
+	lr := flag.Float64("lr", 0, "learning rate (0 = default)")
+	flag.Parse()
+
+	var appList []string
+	for _, a := range strings.Split(*appsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			appList = append(appList, a)
+		}
+	}
+	if len(appList) == 0 {
+		fatal("no kernels given")
+	}
+
+	fmt.Fprintf(os.Stderr, "atmem-train: collecting %s on %s (%d kernels)\n",
+		*dataset, *testbed, len(appList))
+	scn := harness.DefaultShootoutScenario()
+	scn.Testbed = harness.TestbedID(*testbed)
+	scn.Dataset = *dataset
+	scn.Apps = appList
+	samples, err := harness.ShootoutTrainingData(scn)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cfg := core.TrainConfig{Iters: *iters, LearnRate: *lr}
+	w, stats, err := core.TrainPairwise(samples, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "atmem-train: %d chunks, %d pairs, violations %d -> %d, loss %.4f\n",
+		stats.Samples, stats.Pairs, stats.InitialViolations, stats.FinalViolations, stats.Loss)
+	for i, name := range core.FeatureNames {
+		fmt.Fprintf(os.Stderr, "atmem-train:   w[%-14s] = %+.4f\n", name, w.W[i])
+	}
+
+	data, err := w.MarshalJSONIndented()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "atmem-train: wrote %s\n", *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "atmem-train: "+format+"\n", args...)
+	os.Exit(1)
+}

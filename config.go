@@ -115,8 +115,19 @@ func (m MigrationMechanism) String() string {
 
 // Options configures a Runtime beyond the testbed.
 type Options struct {
-	// Policy is the placement policy; default PolicyATMem.
+	// Policy is the placement policy as a legacy enum; default
+	// PolicyATMem. Ignored when Placement is set.
+	//
+	// Deprecated: use Placement (or WithPlacementPolicy) with a
+	// PlacementPolicy value. The enum survives as a shim: each value
+	// resolves to its named built-in via BuiltinPolicy.
 	Policy Policy
+	// Placement is the placement policy as a first-class object (see
+	// PlacementPolicy): PaperPolicy, OraclePolicy, LearnedPolicy,
+	// StaticPolicy, or a caller-defined implementation. When nil, the
+	// deprecated Policy enum decides. Policies are validated at
+	// construction.
+	Placement PlacementPolicy
 	// Threads overrides the testbed's simulated thread count (0 keeps
 	// the preset).
 	Threads int
@@ -236,6 +247,11 @@ type Options struct {
 	// runtime hooks the shared system (last writer wins) — aim faults
 	// with range scopes so only the intended tenant's ranges fire.
 	Tenant *Tenant
+
+	// placementNil marks an explicit WithPlacementPolicy(nil): unlike
+	// the zero Options (which falls back to the Policy enum), a caller
+	// who passed nil on purpose gets ErrNilPolicy at construction.
+	placementNil bool
 }
 
 // HealthOptions configures the tier-health subsystem (see

@@ -20,7 +20,7 @@ import (
 
 func run(reserve uint64) (iter float64, ratio float64, err error) {
 	rt, err := atmem.New(atmem.NVMDRAM(),
-		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 		atmem.WithCapacityReserve(reserve))
 	if err != nil {
 		return 0, 0, err

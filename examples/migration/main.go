@@ -22,7 +22,7 @@ type outcome struct {
 }
 
 func run(tb atmem.Testbed, mech atmem.MigrationMechanism) (outcome, error) {
-	rt, err := atmem.New(tb, atmem.WithPolicy(atmem.PolicyATMem), atmem.WithEngine(mech))
+	rt, err := atmem.New(tb, atmem.WithPlacementPolicy(atmem.PaperPolicy()), atmem.WithEngine(mech))
 	if err != nil {
 		return outcome{}, err
 	}

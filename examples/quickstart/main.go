@@ -13,8 +13,11 @@ import (
 	"atmem/apps"
 )
 
-func run(policy atmem.Policy) (first, second float64, rep atmem.MigrationReport, err error) {
-	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPolicy(policy))
+// run executes PageRank under the given placement policy; optimize
+// turns on the profile -> analyze -> migrate cycle (the fixed policies
+// place everything at allocation time and never migrate).
+func run(policy atmem.PlacementPolicy, optimize bool) (first, second float64, rep atmem.MigrationReport, err error) {
+	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPlacementPolicy(policy))
 	if err != nil {
 		return 0, 0, rep, err
 	}
@@ -26,12 +29,12 @@ func run(policy atmem.Policy) (first, second float64, rep atmem.MigrationReport,
 		return 0, 0, rep, err
 	}
 
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		rt.ProfilingStart()
 	}
 	it0 := kern.RunIteration(rt)
 	first = it0.Seconds
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		n := rt.ProfilingStop()
 		fmt.Printf("  profiler: %d samples at period %d\n", n, rt.SamplePeriod())
 		if rep, err = rt.Optimize(); err != nil {
@@ -47,25 +50,36 @@ func run(policy atmem.Policy) (first, second float64, rep atmem.MigrationReport,
 	return first, second, rep, nil
 }
 
+// builtin resolves a legacy Policy enum value to its named
+// PlacementPolicy (the comparison arms only differ in allocation-time
+// placement, which the built-ins still cover).
+func builtin(p atmem.Policy) atmem.PlacementPolicy {
+	pol, err := atmem.BuiltinPolicy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pol
+}
+
 func main() {
 	fmt.Println("== PageRank / pokec on the simulated NVM-DRAM testbed ==")
 
 	fmt.Println("baseline (all data on Optane NVM):")
-	_, base, _, err := run(atmem.PolicyBaseline)
+	_, base, _, err := run(builtin(atmem.PolicyBaseline), false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  iteration time %.6fs\n", base)
 
 	fmt.Println("ideal (all data on DRAM):")
-	_, ideal, _, err := run(atmem.PolicyAllFast)
+	_, ideal, _, err := run(builtin(atmem.PolicyAllFast), false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  iteration time %.6fs\n", ideal)
 
 	fmt.Println("ATMem (profile -> analyze -> migrate):")
-	first, opt, rep, err := run(atmem.PolicyATMem)
+	first, opt, rep, err := run(atmem.PaperPolicy(), true)
 	if err != nil {
 		log.Fatal(err)
 	}

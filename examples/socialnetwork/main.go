@@ -16,13 +16,15 @@ import (
 )
 
 type result struct {
-	policy    atmem.Policy
+	policy    string
 	bfs, cc   float64
 	dataRatio float64
 }
 
-func runPipeline(policy atmem.Policy) (result, error) {
-	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPolicy(policy))
+// runPipeline executes the BFS+CC pipeline under the given placement
+// policy; optimize turns on the profile -> analyze -> migrate cycle.
+func runPipeline(policy atmem.PlacementPolicy, optimize bool) (result, error) {
+	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPlacementPolicy(policy))
 	if err != nil {
 		return result{}, err
 	}
@@ -42,12 +44,12 @@ func runPipeline(policy atmem.Policy) (result, error) {
 	}
 
 	// Profile one pass of the whole pipeline, then migrate.
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		rt.ProfilingStart()
 	}
 	bfs.RunIteration(rt)
 	cc.RunIteration(rt)
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		rt.ProfilingStop()
 		if _, err := rt.Optimize(); err != nil {
 			return result{}, err
@@ -56,7 +58,7 @@ func runPipeline(policy atmem.Policy) (result, error) {
 	// Warm, then measure.
 	bfs.RunIteration(rt)
 	cc.RunIteration(rt)
-	r := result{policy: policy, dataRatio: rt.FastDataRatio()}
+	r := result{policy: policy.Name(), dataRatio: rt.FastDataRatio()}
 	r.bfs = bfs.RunIteration(rt).Seconds
 	r.cc = cc.RunIteration(rt).Seconds
 	if err := bfs.Validate(); err != nil {
@@ -71,21 +73,38 @@ func runPipeline(policy atmem.Policy) (result, error) {
 func main() {
 	fmt.Println("== social-network analytics (BFS + CC) on twitter, NVM-DRAM testbed ==")
 	fmt.Printf("%-12s %-12s %-12s %-10s\n", "policy", "bfs(s)", "cc(s)", "fast-data")
+	arms := []struct {
+		policy   atmem.PlacementPolicy
+		optimize bool
+	}{
+		{builtin(atmem.PolicyBaseline), false},
+		{builtin(atmem.PolicyAllFast), false},
+		{builtin(atmem.PolicyPreferFast), false},
+		{atmem.PaperPolicy(), true},
+	}
 	var baseline result
-	for _, p := range []atmem.Policy{
-		atmem.PolicyBaseline, atmem.PolicyAllFast, atmem.PolicyPreferFast, atmem.PolicyATMem,
-	} {
-		r, err := runPipeline(p)
+	for i, arm := range arms {
+		r, err := runPipeline(arm.policy, arm.optimize)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if p == atmem.PolicyBaseline {
+		if i == 0 {
 			baseline = r
 		}
-		fmt.Printf("%-12s %-12.6f %-12.6f %.1f%%\n", p, r.bfs, r.cc, 100*r.dataRatio)
-		if p == atmem.PolicyATMem {
+		fmt.Printf("%-12s %-12.6f %-12.6f %.1f%%\n", r.policy, r.bfs, r.cc, 100*r.dataRatio)
+		if arm.optimize {
 			fmt.Printf("\nATMem speedup over all-NVM baseline: BFS %.2fx, CC %.2fx with %.1f%% data on DRAM\n",
 				baseline.bfs/r.bfs, baseline.cc/r.cc, 100*r.dataRatio)
 		}
 	}
+}
+
+// builtin resolves a legacy Policy enum value to its named
+// PlacementPolicy.
+func builtin(p atmem.Policy) atmem.PlacementPolicy {
+	pol, err := atmem.BuiltinPolicy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pol
 }

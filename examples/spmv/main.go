@@ -13,8 +13,10 @@ import (
 	"atmem/apps"
 )
 
-func run(policy atmem.Policy, iters int) (perIter float64, rep atmem.MigrationReport, err error) {
-	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPolicy(policy))
+// run executes the power iterations under the given placement policy;
+// optimize turns on the profile -> analyze -> migrate cycle.
+func run(policy atmem.PlacementPolicy, optimize bool, iters int) (perIter float64, rep atmem.MigrationReport, err error) {
+	rt, err := atmem.New(atmem.NVMDRAM(), atmem.WithPlacementPolicy(policy))
 	if err != nil {
 		return 0, rep, err
 	}
@@ -22,11 +24,11 @@ func run(policy atmem.Policy, iters int) (perIter float64, rep atmem.MigrationRe
 	if err := k.Setup(rt, "rmat27"); err != nil {
 		return 0, rep, err
 	}
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		rt.ProfilingStart()
 	}
 	k.RunIteration(rt)
-	if policy == atmem.PolicyATMem {
+	if optimize {
 		rt.ProfilingStop()
 		if rep, err = rt.Optimize(); err != nil {
 			return 0, rep, err
@@ -43,18 +45,28 @@ func run(policy atmem.Policy, iters int) (perIter float64, rep atmem.MigrationRe
 	return total / float64(iters), rep, nil
 }
 
+// builtin resolves a legacy Policy enum value to its named
+// PlacementPolicy.
+func builtin(p atmem.Policy) atmem.PlacementPolicy {
+	pol, err := atmem.BuiltinPolicy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pol
+}
+
 func main() {
 	const iters = 4
 	fmt.Println("== SpMV power iterations on the rmat27 matrix, NVM-DRAM testbed ==")
-	base, _, err := run(atmem.PolicyBaseline, iters)
+	base, _, err := run(builtin(atmem.PolicyBaseline), false, iters)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ideal, _, err := run(atmem.PolicyAllFast, iters)
+	ideal, _, err := run(builtin(atmem.PolicyAllFast), false, iters)
 	if err != nil {
 		log.Fatal(err)
 	}
-	at, rep, err := run(atmem.PolicyATMem, iters)
+	at, rep, err := run(atmem.PaperPolicy(), true, iters)
 	if err != nil {
 		log.Fatal(err)
 	}

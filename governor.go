@@ -280,7 +280,11 @@ func (r *Runtime) optimizeGoverned(ctx context.Context, period uint64, tid int) 
 		}
 	}
 	analyzeStart := time.Now()
-	plan, err := core.AnalyzeObserved(r.reg, period, budget, r.stageObserver(tid))
+	plan, err := r.policy.Rank(core.PolicyProfile{
+		Registry: r.reg,
+		Period:   period,
+		Epoch:    gi.epoch,
+	}, budget, r.stageObserver(tid))
 	analyzeNS = uint64(time.Since(analyzeStart))
 	if err != nil {
 		return MigrationReport{}, err

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// syntheticTrainSet builds a deterministic training set whose labels
+// are a known monotone function of two features, so a working trainer
+// must discover positive weight on both.
+func syntheticTrainSet(n int) []TrainSample {
+	out := make([]TrainSample, 0, n)
+	for i := 0; i < n; i++ {
+		var f FeatureVector
+		f[FeatBias] = 1
+		f[FeatReadDensity] = float64(i%17) * 0.3
+		f[FeatWriteDensity] = float64(i%5) * 0.7
+		f[FeatSizeLog] = 21
+		f[FeatShare] = float64(i%9) / 9
+		label := 3*f[FeatReadDensity] + f[FeatWriteDensity]
+		out = append(out, TrainSample{F: f, Label: label})
+	}
+	return out
+}
+
+// TestTrainPairwiseLearnsOrdering pins the trainer: on a synthetic set
+// with a linear ground truth it must reduce pair violations massively
+// and produce scores that rank a clearly hotter sample above a clearly
+// colder one.
+func TestTrainPairwiseLearnsOrdering(t *testing.T) {
+	samples := syntheticTrainSet(300)
+	w, st, err := TrainPairwise(samples, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 300 || st.Pairs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FinalViolations*5 > st.InitialViolations {
+		t.Errorf("training barely helped: violations %d -> %d",
+			st.InitialViolations, st.FinalViolations)
+	}
+	var hotF, coldF FeatureVector
+	hotF[FeatBias], coldF[FeatBias] = 1, 1
+	hotF[FeatSizeLog], coldF[FeatSizeLog] = 21, 21
+	hotF[FeatReadDensity] = 4.8 // label 14.4+
+	coldF[FeatReadDensity] = 0.3
+	if w.Score(hotF) <= w.Score(coldF) {
+		t.Errorf("trained model ranks cold above hot: %v vs %v",
+			w.Score(hotF), w.Score(coldF))
+	}
+}
+
+// TestTrainPairwiseDeterministic pins the reproducibility contract:
+// identical inputs must produce bit-identical weights.
+func TestTrainPairwiseDeterministic(t *testing.T) {
+	a, _, err := TrainPairwise(syntheticTrainSet(120), TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TrainPairwise(syntheticTrainSet(120), TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical training runs produced different weights")
+	}
+}
+
+// TestWeightsJSONRoundTrip pins the serialization format cmd/atmem-train
+// writes and LearnedPolicy loads.
+func TestWeightsJSONRoundTrip(t *testing.T) {
+	w, _, err := TrainPairwise(syntheticTrainSet(60), TrainConfig{Iters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.MarshalJSONIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightsFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, got) {
+		t.Errorf("round trip diverged:\n in:  %+v\n out: %+v", w, got)
+	}
+}
+
+// TestWeightsValidate is the schema gate: version or arity mismatches
+// must be rejected before a learned policy can rank anything.
+func TestWeightsValidate(t *testing.T) {
+	good, _, err := TrainPairwise(syntheticTrainSet(60), TrainConfig{Iters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("trained weights invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Weights)
+	}{
+		{"bad-version", func(w *Weights) { w.Version = WeightsVersion + 1 }},
+		{"short-weights", func(w *Weights) { w.W = w.W[:NumFeatures-1] }},
+		{"short-mean", func(w *Weights) { w.Mean = w.Mean[:1] }},
+		{"short-scale", func(w *Weights) { w.Scale = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := good
+			w.W = append([]float64(nil), good.W...)
+			w.Mean = append([]float64(nil), good.Mean...)
+			w.Scale = append([]float64(nil), good.Scale...)
+			tc.mutate(&w)
+			if err := w.Validate(); err == nil {
+				t.Error("mutated weights passed validation")
+			}
+			data, err := json.Marshal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := WeightsFromJSON(data); err == nil {
+				t.Error("WeightsFromJSON accepted malformed weights")
+			}
+		})
+	}
+}
+
+// TestFeaturizeDeterministic pins the extraction contract Featurize
+// documents: the same attributed counters produce bit-identical feature
+// vectors on repeated calls (the cross-GOMAXPROCS half of the contract
+// lives in the root package's TestFeatureExtractionDeterministic, which
+// runs full simulated workloads).
+func TestFeaturizeDeterministic(t *testing.T) {
+	r := twoObjectRegistry(t)
+	a := Featurize(r, 64, 3)
+	b := Featurize(r, 64, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated Featurize calls diverged on identical counters")
+	}
+	if len(a) != r.TotalChunks() {
+		t.Errorf("featurized %d chunks, registry has %d", len(a), r.TotalChunks())
+	}
+	// Spot-check schema invariants: bias is 1, epoch lands in FeatPhase.
+	for _, cf := range a {
+		if cf.F[FeatBias] != 1 {
+			t.Fatalf("chunk %s/%d bias = %v", cf.Object, cf.Chunk, cf.F[FeatBias])
+		}
+		if cf.F[FeatPhase] != 3 {
+			t.Fatalf("chunk %s/%d phase = %v, want 3", cf.Object, cf.Chunk, cf.F[FeatPhase])
+		}
+	}
+}
+
+// TestLearnedRankPolicyEvidenceGate pins the honesty rule: the learned
+// policy only ranks chunks with sampled evidence (or a sampled
+// immediate neighbor) — it must not promote chunks of an object the
+// profiler never saw.
+func TestLearnedRankPolicyEvidenceGate(t *testing.T) {
+	r := twoObjectRegistry(t) // "hot" sampled everywhere, "cold" unsampled
+	w, _, err := TrainPairwise(syntheticTrainSet(60), TrainConfig{Iters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &LearnedRankPolicy{W: w}
+	plan, err := pol.Rank(PolicyProfile{Registry: r, Period: 64}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Objects {
+		op := &plan.Objects[i]
+		if op.Object.Name == "cold" && op.Local.NumCritical != 0 {
+			t.Errorf("learned policy promoted %d chunks of the never-sampled object",
+				op.Local.NumCritical)
+		}
+	}
+}

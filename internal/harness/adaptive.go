@@ -188,7 +188,7 @@ func RunAdaptivePressure(sc AdaptiveScenario) (*AdaptiveResult, error) {
 	}
 	sc.Governor.Enabled = true
 	opts := []atmem.Option{
-		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 		atmem.WithGovernor(sc.Governor),
 		atmem.WithCapacityReserve(sc.ReserveStart),
 	}

@@ -249,7 +249,7 @@ func abs(x float64) float64 {
 // comparable checksum-for-checksum.
 func (sc ChaosScenario) run(faulted bool) (*chaosSide, error) {
 	opts := []atmem.Option{
-		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 		atmem.WithGovernor(sc.Governor),
 		atmem.WithScrubber(),
 		atmem.WithHealthPolicy(sc.Health),

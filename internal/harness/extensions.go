@@ -26,6 +26,7 @@ func ExtensionExperiments() []Experiment {
 		{ID: "overlap", Title: "Overlapped background placement vs stop-the-world epochs (adaptive-pressure scenario)", Run: overlapComparison},
 		{ID: "chaos-soak", Title: "Chaos soak: self-healing placement under escalating persistent faults and corruption", Run: chaosSoak},
 		{ID: "serving", Title: "Multi-tenant broker: fast-tier isolation, admission control, and SLO-aware degradation under storms", Run: serving},
+		{ID: "policy-shootout", Title: "Placement-policy shootout: static floor vs paper analyzer vs learned ranker vs hindsight oracle, seven kernels", Run: policyShootout},
 	}
 }
 

@@ -151,8 +151,14 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	// The matrix axis stays the compact Policy enum; runs install it
+	// through the policy-object API the enum now shims to.
+	pol, err := atmem.BuiltinPolicy(cfg.Policy)
+	if err != nil {
+		return RunResult{}, err
+	}
 	opts := []atmem.Option{
-		atmem.WithPolicy(cfg.Policy),
+		atmem.WithPlacementPolicy(pol),
 		atmem.WithEngine(cfg.Mechanism),
 		atmem.WithSamplePeriod(cfg.SamplePeriod),
 		atmem.WithBandwidthAware(cfg.BandwidthAware),

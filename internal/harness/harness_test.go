@@ -173,7 +173,7 @@ func TestCSVRejectsCellsNeedingQuoting(t *testing.T) {
 func TestExtensionExperimentsRegistered(t *testing.T) {
 	want := map[string]bool{"accuracy": false, "locality": false, "aggbw": false,
 		"robustness": false, "adaptive-pressure": false, "overlap": false,
-		"chaos-soak": false, "serving": false}
+		"chaos-soak": false, "serving": false, "policy-shootout": false}
 	for _, e := range ExtensionExperiments() {
 		if _, ok := want[e.ID]; !ok {
 			t.Errorf("unexpected extension %s", e.ID)

@@ -88,7 +88,7 @@ func scale24(s *Suite) ([]*Report, error) {
 			return nil, err
 		}
 		rt, err := atmem.New(paperScaleTestbed(),
-			atmem.WithPolicy(atmem.PolicyATMem),
+			atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 			atmem.WithGovernor(atmem.GovernorOptions{}))
 		if err != nil {
 			return nil, err
@@ -160,7 +160,7 @@ func runPlanSession(pc *core.PlanCache, app, ds string, epochs int) (planSession
 		return out, err
 	}
 	rt, err := atmem.New(atmem.NVMDRAM(),
-		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 		atmem.WithGovernor(atmem.GovernorOptions{}),
 		atmem.WithPlanCache(pc))
 	if err != nil {

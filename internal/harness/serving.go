@@ -259,7 +259,7 @@ func (sc ServingScenario) newMember(bk *atmem.Broker, tc ServingTenant, rec *tel
 		return nil, err
 	}
 	opts := []atmem.Option{
-		atmem.WithPolicy(atmem.PolicyATMem),
+		atmem.WithPlacementPolicy(atmem.PaperPolicy()),
 		atmem.WithTenant(tn),
 		atmem.WithScrubber(),
 		atmem.WithHealthPolicy(sc.Health),

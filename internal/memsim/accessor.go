@@ -6,6 +6,21 @@ import (
 	"atmem/internal/cache"
 )
 
+// TrafficHook observes every line of memory traffic an accessor
+// generates — demand misses, prefetched stream fills, and dirty
+// writebacks. slowBytes is the device bytes the event WOULD charge on
+// the slow tier (its access grain for random traffic, one cache line
+// for coalesced stream traffic) regardless of where the line actually
+// lives, so a recorded trace stays comparable across placements: the
+// fast-tier charge is always one cache line, and the slow-tier charge
+// is this value. Unlike MissHook it sees the complete byte stream, not
+// just the profiler-visible demand misses: prefetch-covered sequential
+// fetches never surface as demand misses but still consume device
+// bandwidth. It exists for hindsight measurement (the oracle placement
+// policy's trace); the online profiler models real PEBS and must keep
+// using MissHook.
+type TrafficHook func(addr uint64, slowBytes uint64, write bool)
+
 // MissHook observes every LLC miss an accessor takes (the event stream a
 // PEBS-style profiler samples). It returns extra cycles to charge the
 // accessing thread — the profiler's interrupt/capture overhead, so that
@@ -52,6 +67,7 @@ type Accessor struct {
 
 	lineShift uint
 	hook      MissHook
+	traffic   TrafficHook
 
 	// Same-line fast-path register: after any access to lastLine the
 	// line is guaranteed L1-resident, so a repeat access can be answered
@@ -154,18 +170,29 @@ func (s *System) NewAccessor() *Accessor {
 			return // freed mapping; writeback dropped
 		}
 		bytes := a.grain[t]
+		slowBytes := a.grain[TierSlow]
 		if line == a.lastWb+1 {
 			bytes = uint64(1) << a.lineShift
+			slowBytes = bytes
 		}
 		a.lastWb = line
 		a.WritebackBytes[t] += bytes
 		a.Writebacks++
+		if a.traffic != nil {
+			a.traffic(line<<a.lineShift, slowBytes, true)
+		}
 	}
 	return a
 }
 
 // SetMissHook installs (or clears, with nil) the profiler hook.
 func (a *Accessor) SetMissHook(h MissHook) { a.hook = h }
+
+// SetTrafficHook installs (or clears, with nil) the full-traffic
+// observer. The hook is called on this accessor's goroutine for every
+// line fetch and writeback; installing one per accessor with private
+// accumulation buffers needs no synchronization.
+func (a *Accessor) SetTrafficHook(h TrafficHook) { a.traffic = h }
 
 // Compute charges cycles of ALU/control work to this thread.
 func (a *Accessor) Compute(cycles float64) { a.Cycles += cycles }
@@ -451,6 +478,13 @@ func (a *Accessor) accessLine(line uint64, write bool) {
 			a.Cycles += a.loadMissCycles[t] * deg
 		}
 		a.ReadBytes[t] += grainBytes
+	}
+	if a.traffic != nil {
+		slowBytes := a.grain[TierSlow]
+		if sequential {
+			slowBytes = lineBytes
+		}
+		a.traffic(addr, slowBytes, write)
 	}
 	if !demand {
 		a.PrefetchedLines++

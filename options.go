@@ -37,9 +37,26 @@ func New(tb Testbed, opts ...Option) (*Runtime, error) {
 	return newRuntime(tb, o)
 }
 
-// WithPolicy sets the placement policy (default PolicyATMem).
+// WithPolicy sets the placement policy from the legacy enum (default
+// PolicyATMem).
+//
+// Deprecated: use WithPlacementPolicy with a PlacementPolicy value; the
+// enum values resolve to the same built-ins via BuiltinPolicy.
 func WithPolicy(p Policy) Option {
 	return func(o *Options) { o.Policy = p }
+}
+
+// WithPlacementPolicy installs the placement policy as a first-class
+// object (see PlacementPolicy): one of the built-ins — PaperPolicy,
+// OraclePolicy, LearnedPolicy, StaticPolicy — or a caller-defined
+// implementation. It overrides any Policy enum setting; the policy is
+// validated at construction, and an explicit nil fails New with
+// ErrNilPolicy.
+func WithPlacementPolicy(p PlacementPolicy) Option {
+	return func(o *Options) {
+		o.Placement = p
+		o.placementNil = p == nil
+	}
 }
 
 // WithThreads overrides the testbed's simulated thread count.

@@ -60,12 +60,15 @@ func (r *Runtime) testbedFingerprint() string {
 }
 
 // policyFingerprint serializes every runtime knob that feeds the
-// analyzer or the migration schedule. The analyzer config is included
-// wholesale (%+v) so a new knob can never be forgotten here and replay a
-// stale plan.
+// placement decision or the migration schedule: the placement policy's
+// own fingerprint (PlacementPolicy.Fingerprint — this is what stales
+// cached plans when the policy changes, e.g. retrained learned weights
+// or a different oracle trace) plus the runtime-side knobs the policy
+// ranks under. The analyzer config is included wholesale (%+v) so a new
+// knob can never be forgotten here and replay a stale plan.
 func (r *Runtime) policyFingerprint() string {
 	return fmt.Sprintf("policy=%s engine=%s period=%d reserve=%d bw=%t analyzer=%+v",
-		r.opts.Policy, r.opts.Mechanism, r.opts.SamplePeriod,
+		r.policy.Fingerprint(), r.opts.Mechanism, r.opts.SamplePeriod,
 		r.opts.CapacityReserve, r.opts.BandwidthAware, r.opts.Analyzer)
 }
 

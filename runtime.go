@@ -30,6 +30,7 @@ import (
 type Runtime struct {
 	testbed Testbed
 	opts    Options
+	policy  PlacementPolicy
 	sys     *memsim.System
 	reg     *core.Registry
 	prof    *pebs.Profiler
@@ -154,10 +155,15 @@ func newRuntime(tb Testbed, o Options) (*Runtime, error) {
 	if err := o.Analyzer.Validate(); err != nil {
 		return nil, err
 	}
+	pol, err := resolvePolicy(o)
+	if err != nil {
+		return nil, err
+	}
 	tb.params = p
 	r := &Runtime{
 		testbed: tb,
 		opts:    o,
+		policy:  pol,
 		tenant:  o.Tenant,
 		reg:     core.NewRegistry(o.Analyzer),
 		objects: make(map[uint64]*Object),
@@ -274,12 +280,14 @@ func (r *Runtime) ArmFaults(faults ...faultinject.Fault) {
 // Registry exposes the data-object registry (for tests and the harness).
 func (r *Runtime) Registry() *core.Registry { return r.reg }
 
-// allocTier resolves the placement policy for a new allocation.
-func (r *Runtime) allocTier(size uint64) (memsim.Tier, error) {
-	switch r.opts.Policy {
-	case PolicyAllFast:
-		return memsim.TierFast, nil
-	case PolicyPreferFast:
+// allocTier resolves the policy's allocation-time placement for a new
+// allocation. Unknown policies cannot reach here: the constructor
+// validated the policy, so every allocation mode is a defined one.
+func (r *Runtime) allocTier(size uint64) memsim.Tier {
+	switch r.allocMode() {
+	case AllocFast:
+		return memsim.TierFast
+	case AllocPrefer:
 		// Mirror Alloc's mapping granularity: big objects are
 		// huge-page backed and consume 2 MiB-rounded capacity.
 		align := uint64(memsim.SmallPage)
@@ -287,13 +295,11 @@ func (r *Runtime) allocTier(size uint64) (memsim.Tier, error) {
 			align = memsim.HugePage
 		}
 		if r.sys.FreeCapacity(memsim.TierFast) >= memsim.RoundUp(size, align) {
-			return memsim.TierFast, nil
+			return memsim.TierFast
 		}
-		return memsim.TierSlow, nil
-	case PolicyBaseline, PolicyATMem:
-		return memsim.TierSlow, nil
+		return memsim.TierSlow
 	default:
-		return 0, fmt.Errorf("atmem: unknown policy %v", r.opts.Policy)
+		return memsim.TierSlow
 	}
 }
 
@@ -303,17 +309,12 @@ func (r *Runtime) allocTier(size uint64) (memsim.Tier, error) {
 func (r *Runtime) Malloc(name string, size uint64) (*Object, error) {
 	var base uint64
 	var err error
-	if r.opts.Policy == PolicyPreferFast {
+	if r.allocMode() == AllocPrefer {
 		// `numactl -p` semantics: fill the fast memory page by page
 		// in allocation order, spilling to the large memory when full.
 		base, err = r.sys.AllocPrefer(size)
 	} else {
-		var tier memsim.Tier
-		tier, err = r.allocTier(size)
-		if err != nil {
-			return nil, err
-		}
-		base, err = r.sys.Alloc(size, tier)
+		base, err = r.sys.Alloc(size, r.allocTier(size))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("atmem: malloc %q: %w", name, err)
@@ -537,7 +538,11 @@ func (r *Runtime) OptimizeCtx(ctx context.Context) (MigrationReport, error) {
 	}
 	budget := free - r.opts.CapacityReserve
 	analyzeStart := time.Now()
-	plan, err := core.AnalyzeObserved(r.reg, r.prof.Config().Period, budget, r.stageObserver(0))
+	plan, err := r.policy.Rank(core.PolicyProfile{
+		Registry: r.reg,
+		Period:   r.prof.Config().Period,
+		Epoch:    r.epoch,
+	}, budget, r.stageObserver(0))
 	analyzeNS = uint64(time.Since(analyzeStart))
 	if err != nil {
 		return MigrationReport{}, err
